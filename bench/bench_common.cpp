@@ -1,0 +1,211 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+
+#include "sim/dns_solver.hpp"
+#include "sim/smog_model.hpp"
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+
+namespace dcsn::bench {
+
+Workload make_atmospheric_workload() {
+  Workload w;
+  w.name = "atmospheric pollution (53x55 wind, 2500 bent spots, 32x17 mesh)";
+
+  // A developed weather state: run the model for a few simulated hours.
+  sim::SmogModel model(sim::SmogParams{});
+  for (int step = 0; step < 8; ++step) model.step(0.5);
+  w.field = std::make_unique<field::GridVectorField>(model.wind());
+
+  w.synthesis.texture_width = 512;
+  w.synthesis.texture_height = 512;
+  w.synthesis.spot_count = 2500;
+  w.synthesis.kind = core::SpotKind::kBent;
+  w.synthesis.bent.mesh_cols = 32;  // the paper's 32x17 mesh
+  w.synthesis.bent.mesh_rows = 17;
+  w.synthesis.bent.length_px = 40.0;
+  w.synthesis.bent.trace_substeps = 24;  // calibration: genP/genT ~ 3-4
+  w.synthesis.spot_radius_px = 5.0;
+  w.synthesis.intensity_scale =
+      core::SerialSynthesizer::natural_intensity(w.synthesis);
+
+  util::Rng rng(w.synthesis.seed);
+  w.spots = core::make_random_spots(w.field->domain(), w.synthesis.spot_count, rng);
+  return w;
+}
+
+Workload make_dns_workload(int spinup_steps) {
+  Workload w;
+  w.name = "DNS turbulent flow (278x208 slice, 40000 bent spots, 16x3 mesh)";
+
+  sim::DnsSolver solver(sim::DnsParams{});
+  for (int step = 0; step < spinup_steps; ++step) solver.step();
+  w.field = std::make_unique<field::RectilinearVectorField>(solver.snapshot());
+
+  w.synthesis.texture_width = 512;
+  w.synthesis.texture_height = 512;
+  w.synthesis.spot_count = 40000;
+  w.synthesis.kind = core::SpotKind::kBent;
+  w.synthesis.bent.mesh_cols = 16;  // the paper's 16x3 mesh
+  w.synthesis.bent.mesh_rows = 3;
+  w.synthesis.bent.length_px = 24.0;
+  w.synthesis.bent.trace_substeps = 4;  // calibration: genP/genT ~ 3-4
+  w.synthesis.spot_radius_px = 2.5;
+  w.synthesis.intensity_scale =
+      core::SerialSynthesizer::natural_intensity(w.synthesis);
+
+  util::Rng rng(w.synthesis.seed);
+  w.spots = core::make_random_spots(w.field->domain(), w.synthesis.spot_count, rng);
+  return w;
+}
+
+double measure_rate(const Workload& workload, const core::DncConfig& dnc,
+                    int frames, core::FrameStats* last_stats) {
+  core::DncSynthesizer engine(workload.synthesis, dnc);
+  (void)engine.synthesize(*workload.field, workload.spots);  // warm-up
+  double total = 0.0;
+  core::FrameStats stats;
+  for (int k = 0; k < frames; ++k) {
+    stats = engine.synthesize(*workload.field, workload.spots);
+    total += stats.frame_seconds;
+  }
+  if (last_stats) *last_stats = stats;
+  return frames / total;
+}
+
+std::vector<Cell> run_table(const Workload& workload,
+                            const std::vector<std::vector<double>>& paper,
+                            double bus_bytes_per_second, int frames) {
+  const std::vector<int> processor_rows = {1, 2, 4, 8};
+  const std::vector<int> pipe_cols = {1, 2, 4};
+  std::vector<Cell> cells;
+  for (std::size_t r = 0; r < processor_rows.size(); ++r) {
+    for (std::size_t c = 0; c < pipe_cols.size(); ++c) {
+      if (paper[r][c] == 0.0) continue;  // cell blank in the paper
+      Cell cell;
+      cell.processors = processor_rows[r];
+      cell.pipes = pipe_cols[c];
+      cell.paper_rate = paper[r][c];
+      core::DncConfig dnc;
+      dnc.processors = cell.processors;
+      dnc.pipes = cell.pipes;
+      dnc.bus_bytes_per_second = bus_bytes_per_second;
+      cell.measured_rate = measure_rate(workload, dnc, frames, &cell.stats);
+      std::printf("  measured nP=%d nG=%d : %6.2f textures/s\n", cell.processors,
+                  cell.pipes, cell.measured_rate);
+      std::fflush(stdout);
+      cells.push_back(cell);
+    }
+  }
+  return cells;
+}
+
+namespace {
+const Cell* find(const std::vector<Cell>& cells, int p, int g) {
+  for (const Cell& c : cells)
+    if (c.processors == p && c.pipes == g) return &c;
+  return nullptr;
+}
+}  // namespace
+
+void print_table(const std::string& title, const std::vector<Cell>& cells) {
+  std::printf("\n%s\n", title.c_str());
+  std::printf("textures per second, measured (paper) — rows: processors, cols: pipes\n");
+  std::printf("%6s %18s %18s %18s\n", "", "1 pipe", "2 pipes", "4 pipes");
+  for (const int p : {1, 2, 4, 8}) {
+    std::printf("%6d", p);
+    for (const int g : {1, 2, 4}) {
+      if (const Cell* c = find(cells, p, g)) {
+        std::printf("   %7.2f (%4.1f)  ", c->measured_rate, c->paper_rate);
+      } else {
+        std::printf("   %16s", "-");
+      }
+    }
+    std::printf("\n");
+  }
+
+  // The §5 discussion points, recomputed from the measured cells.
+  std::printf("\nshape observations:\n");
+  const Cell* c11 = find(cells, 1, 1);
+  const Cell* c41 = find(cells, 4, 1);
+  const Cell* c81 = find(cells, 8, 1);
+  if (c11 && c41 && c81) {
+    std::printf(
+        "  processors per pipe saturate: 1->4 procs gains %.2fx, 4->8 procs gains "
+        "%.2fx (paper: large, then ~none)\n",
+        c41->measured_rate / c11->measured_rate,
+        c81->measured_rate / c41->measured_rate);
+  }
+  const Cell* c84 = find(cells, 8, 4);
+  const Cell* c82 = find(cells, 8, 2);
+  if (c81 && c82 && c84) {
+    std::printf(
+        "  pipes help when fed: at 8 procs, 1->2 pipes %.2fx, 2->4 pipes %.2fx\n",
+        c82->measured_rate / c81->measured_rate,
+        c84->measured_rate / c82->measured_rate);
+  }
+  const Cell* c21 = find(cells, 2, 1);
+  const Cell* c22 = find(cells, 2, 2);
+  if (c21 && c22) {
+    std::printf(
+        "  pipes idle when starved: at 2 procs, 1->2 pipes %.2fx (paper: 1.00x)\n",
+        c22->measured_rate / c21->measured_rate);
+  }
+  if (c11 && c84) {
+    const double speedup = c84->measured_rate / c11->measured_rate;
+    std::printf(
+        "  8 procs + 4 pipes vs 1+1: %.2fx of the ideal 8x — sequential gather c = "
+        "%.1f ms/frame keeps it sublinear (paper: 5.6x of 8x)\n",
+        speedup, c84->stats.gather_seconds * 1e3);
+  }
+  if (c84) {
+    const double bytes_per_texture = static_cast<double>(c84->stats.geometry_bytes);
+    const double mb_per_s = bytes_per_texture * c84->measured_rate / 1.0e6;
+    std::printf(
+        "  geometry traffic at the fastest config: %.1f MB/texture, %.0f MB/s of "
+        "the modeled 800 MB/s bus (paper: well below the maximum)\n",
+        bytes_per_texture / 1.0e6, mb_per_s);
+    const double ratio = c84->stats.genP_seconds / c84->stats.genT_seconds;
+    std::printf("  calibration: measured genP/genT per spot = %.2f\n", ratio);
+  }
+}
+
+void check_footnote3(const Workload& workload, double bus_bytes_per_second,
+                     int frames) {
+  std::printf("\nfootnote 3 — the paper *expected* 16 processors to be optimal "
+              "for 4 pipes:\n");
+  double best_rate = 0.0;
+  int best_procs = 0;
+  for (const int procs : {8, 12, 16}) {
+    core::DncConfig dnc;
+    dnc.processors = procs;
+    dnc.pipes = 4;
+    dnc.bus_bytes_per_second = bus_bytes_per_second;
+    const double rate = measure_rate(workload, dnc, frames);
+    std::printf("  %2d procs / 4 pipes : %6.2f textures/s\n", procs, rate);
+    if (rate > best_rate) {
+      best_rate = rate;
+      best_procs = procs;
+    }
+  }
+  std::printf("  best measured: %d processors — the paper's expectation %s on "
+              "this machine\n",
+              best_procs, best_procs == 16 ? "holds" : "does not quite hold");
+}
+
+void write_csv(const std::string& path, const std::vector<Cell>& cells) {
+  util::CsvWriter csv(path, {"processors", "pipes", "paper_rate", "measured_rate",
+                             "genP_s", "genT_s", "gather_s", "geometry_bytes"});
+  for (const Cell& c : cells) {
+    csv.row({std::to_string(c.processors), std::to_string(c.pipes),
+             util::CsvWriter::num(c.paper_rate), util::CsvWriter::num(c.measured_rate),
+             util::CsvWriter::num(c.stats.genP_seconds),
+             util::CsvWriter::num(c.stats.genT_seconds),
+             util::CsvWriter::num(c.stats.gather_seconds),
+             std::to_string(c.stats.geometry_bytes)});
+  }
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace dcsn::bench

@@ -1,0 +1,78 @@
+// Shared benchmark harness: the paper's two workloads, configuration
+// sweeps, and side-by-side paper-vs-measured table printing.
+//
+// Calibration note (see DESIGN.md §2 and §6): a 2026 CPU core rasterizes in
+// software relatively faster (vs. its integration speed) than a 1997
+// R10000-vs-InfiniteReality pairing, so the presets raise the streamline
+// integration accuracy (bent.trace_substeps) until the measured
+// genP : genT ratio sits in the paper's regime (~3-4 CPU-seconds per
+// pipe-second). The benches print the measured ratio so this calibration is
+// visible in every run.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/dnc_synthesizer.hpp"
+#include "core/serial_synthesizer.hpp"
+#include "field/grid_field.hpp"
+
+namespace dcsn::bench {
+
+struct Workload {
+  std::string name;
+  std::unique_ptr<field::VectorField> field;
+  core::SynthesisConfig synthesis;
+  std::vector<core::SpotInstance> spots;
+};
+
+/// §5.1 workload: smog-model wind on the 53x55 grid, 2500 bent spots with
+/// 32x17 meshes, 512x512 texture (~1.3 M quadrilaterals per texture).
+Workload make_atmospheric_workload();
+
+/// §5.2 workload: DNS slice on the 278x208 rectilinear grid after spin-up,
+/// 40000 bent spots with 16x3 meshes, 512x512 texture (~1.9 M quads).
+/// `spinup_steps` trades bench startup time against wake development.
+Workload make_dns_workload(int spinup_steps = 120);
+
+/// The paper's hardware model: the Onyx2 bus.
+constexpr double kPaperBusBytesPerSecond = 800.0e6;
+
+/// Runs `frames` frames of the workload under the given configuration and
+/// returns the mean textures/second (after one warm-up frame). `last_stats`
+/// receives the final frame's stats when non-null.
+double measure_rate(const Workload& workload, const core::DncConfig& dnc,
+                    int frames, core::FrameStats* last_stats = nullptr);
+
+/// One measured cell of a paper table.
+struct Cell {
+  int processors = 0;
+  int pipes = 0;
+  double paper_rate = 0.0;     ///< textures/s from the paper (0 = cell empty)
+  double measured_rate = 0.0;  ///< textures/s measured here
+  core::FrameStats stats;
+};
+
+/// Runs the paper's (processors x pipes) grid for the given workload.
+/// `paper` holds the published numbers row-major over processors {1,2,4,8}
+/// x pipes {1,2,4}, 0 marking cells the paper leaves blank.
+std::vector<Cell> run_table(const Workload& workload,
+                            const std::vector<std::vector<double>>& paper,
+                            double bus_bytes_per_second, int frames);
+
+/// Prints the table in the paper's layout with measured values beside the
+/// published ones, followed by the shape observations (§5 discussion).
+void print_table(const std::string& title, const std::vector<Cell>& cells);
+
+/// The paper's footnote 3: "We expect, but have not verified, that when
+/// using 4 graphics pipes an optimal performance will be achieved by using
+/// 16 processors." Measures 8/12/16 processors on 4 pipes and reports
+/// whether the expectation holds on this machine.
+void check_footnote3(const Workload& workload, double bus_bytes_per_second,
+                     int frames);
+
+/// Writes cells to a CSV next to the binary's working directory.
+void write_csv(const std::string& path, const std::vector<Cell>& cells);
+
+}  // namespace dcsn::bench

@@ -1,0 +1,70 @@
+// Regenerates Figure 7: the DNS wake behind a block — vortex shedding and
+// the transition from laminar (left of the block) to unsteady flow behind
+// it — rendered with the paper's 40000-spot / 16x3-mesh configuration.
+//
+// Output: fig7_dns_wake.ppm, plus a shedding diagnostic.
+#include <cmath>
+#include <cstdio>
+
+#include "core/dnc_synthesizer.hpp"
+#include "core/filters.hpp"
+#include "core/serial_synthesizer.hpp"
+#include "io/ppm.hpp"
+#include "render/overlay.hpp"
+#include "sim/dns_solver.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dcsn;
+  const util::Args args(argc, argv);
+
+  sim::DnsParams params;
+  sim::DnsSolver solver(params);
+  const int spinup = args.get_int("spinup", args.has("quick") ? 150 : 500);
+  std::printf("fig7: DNS spin-up (%d steps on %dx%d, Re ~ %.0f)...\n", spinup,
+              params.nx, params.ny, params.inflow_speed * 2.0 / params.viscosity);
+  int shedding_sign_changes = 0;
+  double last_vy = 0.0;
+  for (int step = 0; step < spinup; ++step) {
+    solver.step();
+    const double vy = solver.velocity().sample({9.5, 10.4}).y;  // wake probe
+    if (vy * last_vy < 0.0) ++shedding_sign_changes;
+    if (vy != 0.0) last_vy = vy;
+  }
+
+  const auto snapshot = solver.snapshot();
+  core::SynthesisConfig config;
+  config.spot_count = args.get_int("spots", 40000);
+  config.kind = core::SpotKind::kBent;
+  config.bent.mesh_cols = 16;
+  config.bent.mesh_rows = 3;
+  config.bent.length_px = 24.0;
+  config.bent.trace_substeps = 4;
+  config.spot_radius_px = 2.5;
+  config.intensity_scale = core::SerialSynthesizer::natural_intensity(config);
+  core::DncConfig dnc;
+  dnc.processors = args.get_int("processors", 4);
+  dnc.pipes = args.get_int("pipes", 2);
+  core::DncSynthesizer synth(config, dnc);
+  util::Rng rng(config.seed);
+  const auto spots =
+      core::make_random_spots(snapshot.domain(), config.spot_count, rng);
+  const auto stats = synth.synthesize(snapshot, spots);
+
+  render::Framebuffer texture = synth.texture();
+  core::normalize_contrast(texture);
+  render::Image img = render::texture_to_image(texture);
+  const render::WorldToImage mapping(snapshot.domain(), img.width(), img.height());
+  render::fill_rect(img, mapping, params.block, {40, 40, 40});
+  io::write_ppm("fig7_dns_wake.ppm", img);
+
+  std::printf("fig7 -> fig7_dns_wake.ppm (%.1f ms synthesis, %.2f textures/s)\n",
+              stats.frame_seconds * 1e3, stats.textures_per_second());
+  std::printf("  wake probe saw %d cross-stream sign changes during spin-up "
+              "(>0 means vortex shedding is active)\n",
+              shedding_sign_changes);
+  std::printf("  geometry: %.1f MB/texture across %lld vertices\n",
+              static_cast<double>(stats.geometry_bytes) / 1e6,
+              static_cast<long long>(stats.vertices));
+  return 0;
+}

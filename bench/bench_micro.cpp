@@ -1,0 +1,223 @@
+// Micro benchmarks (google-benchmark) for the building blocks: RNG, field
+// sampling, integrators, streamline tracing, spot geometry generation,
+// rasterization, blending/compose, and texture filters. These are the genP
+// and genT primitives whose ratio drives the divide-and-conquer balance.
+#include <benchmark/benchmark.h>
+
+#include "core/filters.hpp"
+#include "core/spot_geometry.hpp"
+#include "field/analytic.hpp"
+#include "field/grid_field.hpp"
+#include "particles/integrators.hpp"
+#include "particles/particle_system.hpp"
+#include "particles/tracer.hpp"
+#include "render/compose.hpp"
+#include "render/rasterizer.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dcsn;
+
+// ---------------------------------------------------------------- util ---
+
+void BM_RngU64(benchmark::State& state) {
+  util::Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng());
+}
+BENCHMARK(BM_RngU64);
+
+void BM_RngNormal(benchmark::State& state) {
+  util::Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.normal());
+}
+BENCHMARK(BM_RngNormal);
+
+// --------------------------------------------------------------- field ---
+
+field::GridVectorField make_grid_field(int n) {
+  field::RegularGrid grid(n, n, {0.0, 0.0, 1.0, 1.0});
+  field::GridVectorField f(grid);
+  f.fill([](field::Vec2 p) { return field::Vec2{p.y, -p.x}; });
+  return f;
+}
+
+void BM_GridFieldSample(benchmark::State& state) {
+  const auto f = make_grid_field(static_cast<int>(state.range(0)));
+  util::Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.sample({rng.uniform(), rng.uniform()}));
+  }
+}
+BENCHMARK(BM_GridFieldSample)->Arg(53)->Arg(278);
+
+void BM_RectilinearSample(benchmark::State& state) {
+  auto xs = field::RectilinearGrid::stretched_axis(278, 0.0, 1.0, 0.3, 2.5);
+  auto ys = field::RectilinearGrid::stretched_axis(208, 0.0, 1.0, 0.5, 2.5);
+  field::RectilinearVectorField f(
+      field::RectilinearGrid(std::move(xs), std::move(ys)));
+  f.fill([](field::Vec2 p) { return field::Vec2{p.y, -p.x}; });
+  util::Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.sample({rng.uniform(), rng.uniform()}));
+  }
+}
+BENCHMARK(BM_RectilinearSample);
+
+// ----------------------------------------------------------- particles ---
+
+void BM_IntegratorStep(benchmark::State& state) {
+  const auto f = make_grid_field(64);
+  const auto method = static_cast<particles::Integrator>(state.range(0));
+  field::Vec2 p{0.5, 0.5};
+  for (auto _ : state) {
+    p = particles::step(f, p, 1e-3, method);
+    p = f.domain().clamp(p);
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_IntegratorStep)
+    ->Arg(static_cast<int>(particles::Integrator::kEuler))
+    ->Arg(static_cast<int>(particles::Integrator::kRk2))
+    ->Arg(static_cast<int>(particles::Integrator::kRk4));
+
+void BM_StreamlineTrace(benchmark::State& state) {
+  const auto f = make_grid_field(64);
+  particles::TracerConfig config;
+  config.step_length = 1e-3;
+  const particles::StreamlineTracer tracer(config);
+  const int steps = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tracer.trace(f, {0.5, 0.5}, steps / 2, steps / 2));
+  }
+  state.SetItemsProcessed(state.iterations() * steps);
+}
+BENCHMARK(BM_StreamlineTrace)->Arg(15)->Arg(31)->Arg(124);
+
+void BM_ParticleAdvance(benchmark::State& state) {
+  const auto f = make_grid_field(64);
+  particles::ParticleSystemConfig config;
+  config.count = state.range(0);
+  particles::ParticleSystem system(config, f.domain(), util::Rng(4));
+  for (auto _ : state) system.advance(f, 1e-3);
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ParticleAdvance)->Arg(2500)->Arg(40000);
+
+// -------------------------------------------------------- spot geometry ---
+
+void BM_SpotGeometry(benchmark::State& state) {
+  const auto f = make_grid_field(64);
+  core::SynthesisConfig config;
+  config.kind = static_cast<core::SpotKind>(state.range(0));
+  config.bent.mesh_cols = 16;
+  config.bent.mesh_rows = 3;
+  config.bent.trace_substeps = static_cast<int>(state.range(1));
+  const core::SpotGeometryGenerator generator(config, f);
+  render::CommandBuffer buffer;
+  util::Rng rng(5);
+  for (auto _ : state) {
+    buffer.clear();
+    generator.generate({{rng.uniform(), rng.uniform()}, 1.0}, buffer);
+    benchmark::DoNotOptimize(buffer.vertex_count());
+  }
+}
+BENCHMARK(BM_SpotGeometry)
+    ->Args({static_cast<int>(core::SpotKind::kPoint), 1})
+    ->Args({static_cast<int>(core::SpotKind::kEllipse), 1})
+    ->Args({static_cast<int>(core::SpotKind::kBent), 1})
+    ->Args({static_cast<int>(core::SpotKind::kBent), 4})
+    ->Args({static_cast<int>(core::SpotKind::kBent), 24});
+
+// ------------------------------------------------------------ rasterizer ---
+
+void BM_RasterizeQuad(benchmark::State& state) {
+  render::Framebuffer fb(256, 256);
+  const render::SpotProfile profile(render::SpotShape::kCosine, 64);
+  const auto size = static_cast<float>(state.range(0));
+  render::CommandBuffer buf;
+  auto v = buf.add_mesh(1.0f, 2, 2);
+  v[0] = {100.0f, 100.0f, 0.0f, 0.0f};
+  v[1] = {100.0f + size, 100.0f, 1.0f, 0.0f};
+  v[2] = {100.0f, 100.0f + size, 0.0f, 1.0f};
+  v[3] = {100.0f + size, 100.0f + size, 1.0f, 1.0f};
+  render::RasterStats stats;
+  for (auto _ : state) {
+    render::rasterize_buffer({fb.pixels(), 0, 0}, buf, profile,
+                             render::BlendMode::kAdditive, stats);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RasterizeQuad)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_RasterizeBentMesh(benchmark::State& state) {
+  // A full bent-spot mesh as the pipes see it: the paper's two shapes.
+  render::Framebuffer fb(512, 512);
+  const render::SpotProfile profile(render::SpotShape::kCosine, 64);
+  const int cols = static_cast<int>(state.range(0));
+  const int rows = static_cast<int>(state.range(1));
+  render::CommandBuffer buf;
+  auto v = buf.add_mesh(1.0f, cols, rows);
+  for (int j = 0; j < rows; ++j)
+    for (int i = 0; i < cols; ++i)
+      v[static_cast<std::size_t>(j * cols + i)] = {
+          100.0f + 40.0f * i / (cols - 1), 200.0f + 10.0f * j / (rows - 1),
+          static_cast<float>(i) / (cols - 1), static_cast<float>(j) / (rows - 1)};
+  render::RasterStats stats;
+  for (auto _ : state) {
+    render::rasterize_buffer({fb.pixels(), 0, 0}, buf, profile,
+                             render::BlendMode::kAdditive, stats);
+  }
+  state.SetItemsProcessed(state.iterations() * (cols - 1) * (rows - 1));
+}
+BENCHMARK(BM_RasterizeBentMesh)->Args({32, 17})->Args({16, 3});
+
+// --------------------------------------------------------------- compose ---
+
+void BM_GatherBlend(benchmark::State& state) {
+  const auto pipes = static_cast<std::size_t>(state.range(0));
+  std::vector<render::Framebuffer> parts(pipes, render::Framebuffer(512, 512));
+  render::Framebuffer final_texture(512, 512);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(render::gather_blend(final_texture, parts));
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(pipes) *
+                          512 * 512 * 4);
+}
+BENCHMARK(BM_GatherBlend)->Arg(1)->Arg(2)->Arg(4);
+
+// ---------------------------------------------------------------- filters ---
+
+void BM_BoxBlur(benchmark::State& state) {
+  render::Framebuffer fb(512, 512);
+  util::Rng rng(6);
+  for (int y = 0; y < 512; ++y)
+    for (int x = 0; x < 512; ++x) fb.at(x, y) = rng.uniform_f();
+  for (auto _ : state) benchmark::DoNotOptimize(core::box_blur(fb, state.range(0)));
+}
+BENCHMARK(BM_BoxBlur)->Arg(2)->Arg(8);
+
+void BM_HighPass(benchmark::State& state) {
+  render::Framebuffer fb(512, 512);
+  util::Rng rng(7);
+  for (int y = 0; y < 512; ++y)
+    for (int x = 0; x < 512; ++x) fb.at(x, y) = rng.uniform_f();
+  for (auto _ : state) benchmark::DoNotOptimize(core::high_pass(fb, 6));
+}
+BENCHMARK(BM_HighPass);
+
+void BM_NormalizeContrast(benchmark::State& state) {
+  render::Framebuffer fb(512, 512);
+  util::Rng rng(8);
+  for (int y = 0; y < 512; ++y)
+    for (int x = 0; x < 512; ++x) fb.at(x, y) = rng.uniform_f();
+  for (auto _ : state) {
+    core::normalize_contrast(fb);
+    benchmark::DoNotOptimize(fb.at(0, 0));
+  }
+}
+BENCHMARK(BM_NormalizeContrast);
+
+}  // namespace
+
+BENCHMARK_MAIN();

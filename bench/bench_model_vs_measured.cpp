@@ -1,0 +1,76 @@
+// Validates the paper's performance model:
+//   eq. 2.1  T = max(sum genP, sum genT)            (overlap, not sum)
+//   eq. 3.2  T = max(sum genP / nP, sum genT / nG) + c
+//
+// Calibrates genP/genT/c from a single (1 proc, 1 pipe) frame, predicts the
+// whole Table-1 configuration grid, and compares against measurements. Also
+// reports the balance point genP/genT (the paper's "approximately 4
+// processors per graphics pipe") and the ResourceAdvisor's pick.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/perf_model.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dcsn;
+  const util::Args args(argc, argv);
+  const int frames = args.get_int("frames", args.has("quick") ? 2 : 3);
+
+  bench::Workload workload = bench::make_atmospheric_workload();
+  std::printf("workload: %s\n\n", workload.name.c_str());
+
+  // --- eq. 2.1: overlap ---------------------------------------------------
+  core::DncConfig base;
+  base.processors = 1;
+  base.pipes = 1;
+  base.bus_bytes_per_second = bench::kPaperBusBytesPerSecond;
+  core::FrameStats frame11;
+  const double rate11 = bench::measure_rate(workload, base, frames, &frame11);
+  const double overlap_t = 1.0 / rate11;
+  const double sum_t = frame11.genP_seconds + frame11.genT_seconds;
+  const double max_t = std::max(frame11.genP_seconds, frame11.genT_seconds);
+  std::printf("eq 2.1 (1 proc, 1 pipe): frame %.0f ms vs max(genP,genT) %.0f ms "
+              "vs sum %.0f ms\n",
+              overlap_t * 1e3, max_t * 1e3, sum_t * 1e3);
+  std::printf("  overlap verified: frame/%s = %.2f (1.0 = perfect overlap; "
+              "frame/sum = %.2f would be 1.0 with no overlap)\n\n",
+              "max", overlap_t / max_t, overlap_t / sum_t);
+
+  // --- eq. 3.2: predict the grid from the 1x1 calibration ------------------
+  const auto model = core::PerfModel::calibrate(frame11, 1);
+  std::printf("calibrated: genP %.1f us/spot, genT %.1f us/spot, gather %.2f "
+              "ms/pipe, balance point %.1f procs/pipe (paper: ~4)\n\n",
+              model.params().genP_per_spot * 1e6, model.params().genT_per_spot * 1e6,
+              model.params().gather_per_pipe * 1e3,
+              model.processors_per_pipe_balance());
+
+  std::printf("%6s %6s %12s %12s %8s\n", "procs", "pipes", "predicted t/s",
+              "measured t/s", "error");
+  double worst_error = 0.0;
+  for (const auto& [p, g] : std::vector<std::pair<int, int>>{
+           {1, 1}, {2, 1}, {2, 2}, {4, 1}, {4, 2}, {4, 4}, {8, 1}, {8, 2}, {8, 4}}) {
+    core::DncConfig dnc = base;
+    dnc.processors = p;
+    dnc.pipes = g;
+    const double measured = bench::measure_rate(workload, dnc, frames);
+    const double predicted =
+        model.predict_rate(workload.synthesis.spot_count, p, g);
+    const double error = std::abs(predicted - measured) / measured;
+    worst_error = std::max(worst_error, error);
+    std::printf("%6d %6d %12.2f %12.2f %7.0f%%\n", p, g, predicted, measured,
+                error * 100.0);
+  }
+  std::printf("\nworst model error: %.0f%% (the model ignores memory contention "
+              "and scheduling, as the paper's eq. 3.2 does)\n",
+              worst_error * 100.0);
+
+  // --- balanced resource allocation (§3) -----------------------------------
+  const auto choice =
+      core::best_allocation(model, workload.synthesis.spot_count, 8, 4);
+  std::printf("resource advisor: best config within 8 procs / 4 pipes -> %d "
+              "procs, %d pipes (predicted %.2f t/s)\n",
+              choice.processors, choice.pipes, 1.0 / choice.predicted_seconds);
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Reproduces Table 2: textures per second for the DNS turbulence browser.
+//
+// Paper:
+//             1 pipe  2 pipes  4 pipes
+//   1 proc      0.7      -        -
+//   2 procs     1.3     1.3       -
+//   4 procs     2.1     2.1      2.4
+//   8 procs     2.5     3.2      3.5
+//
+// Same shape claims as Table 1, plus: Table 2 rates sit below Table 1's
+// (40000 light spots cost more in total than 2500 heavy ones) and geometry
+// traffic is ~31 MB per texture.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dcsn;
+  const util::Args args(argc, argv);
+  const int frames = args.get_int("frames", args.has("quick") ? 2 : 3);
+  const int spinup = args.get_int("spinup", 120);
+
+  std::printf("Table 2 — DNS of a turbulent flow\n");
+  bench::Workload workload = bench::make_dns_workload(spinup);
+  std::printf("workload: %s\n", workload.name.c_str());
+
+  const std::vector<std::vector<double>> paper = {
+      {0.7, 0.0, 0.0},
+      {1.3, 1.3, 0.0},
+      {2.1, 2.1, 2.4},
+      {2.5, 3.2, 3.5},
+  };
+  const auto cells = bench::run_table(workload, paper,
+                                      bench::kPaperBusBytesPerSecond, frames);
+  bench::print_table("Table 2: turbulent flow", cells);
+  bench::check_footnote3(workload, bench::kPaperBusBytesPerSecond, frames);
+
+  // §5.2: "approximately 31.0 megabyte per texture" of geometry.
+  if (!cells.empty()) {
+    const auto& last = cells.back();
+    std::printf("  geometry per texture: %.1f MB (paper: ~31 MB)\n",
+                static_cast<double>(last.stats.geometry_bytes) / 1.0e6);
+  }
+  bench::write_csv("table2_dns.csv", cells);
+  return 0;
+}

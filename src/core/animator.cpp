@@ -1,0 +1,68 @@
+#include "core/animator.hpp"
+
+#include "util/error.hpp"
+#include "util/stopwatch.hpp"
+
+namespace dcsn::core {
+
+Animator::Animator(AnimatorConfig config, DncSynthesizer& synthesizer,
+                   particles::ParticleSystem& particles, ReadData read_data)
+    : config_(config),
+      synthesizer_(synthesizer),
+      particles_(particles),
+      read_data_(std::move(read_data)) {
+  DCSN_CHECK(config_.advect_radius_fraction > 0.0,
+             "advection step must be positive");
+  DCSN_CHECK(config_.high_pass_radius >= 0, "filter radius must be non-negative");
+  DCSN_CHECK(static_cast<bool>(read_data_), "read_data callback required");
+}
+
+AnimationFrame Animator::step() {
+  const util::Stopwatch total;
+  AnimationFrame out;
+
+  // Step 1: read the data set.
+  util::Stopwatch watch;
+  const field::VectorField& f = read_data_(frame_);
+  out.read_seconds = watch.seconds();
+
+  // Step 2: advect particles. The time step moves the fastest particle a
+  // fixed fraction of a spot radius, so texture motion is smooth regardless
+  // of the field's units.
+  watch.restart();
+  const SynthesisConfig& sc = synthesizer_.config();
+  const double world_per_px =
+      0.5 * (f.domain().width() / sc.texture_width +
+             f.domain().height() / sc.texture_height);
+  const double max_mag = f.max_magnitude();
+  const double dt = max_mag > 0.0 ? config_.advect_radius_fraction *
+                                        sc.spot_radius_px * world_per_px / max_mag
+                                  : 0.0;
+  particles_.advance(f, dt);
+  out.advect_seconds = watch.seconds();
+
+  // Step 3: generate the texture.
+  const std::vector<SpotInstance> spots = spots_from_particles(particles_);
+  out.synthesis = synthesizer_.synthesize(f, spots);
+
+  // Optional spot filtering.
+  watch.restart();
+  if (config_.high_pass_radius > 0) {
+    filtered_ = high_pass(synthesizer_.texture(), config_.high_pass_radius);
+    if (config_.normalize) normalize_contrast(*filtered_);
+    out.texture = &*filtered_;
+  } else if (config_.normalize) {
+    filtered_ = synthesizer_.texture();
+    normalize_contrast(*filtered_);
+    out.texture = &*filtered_;
+  } else {
+    out.texture = &synthesizer_.texture();
+  }
+  out.filter_seconds = watch.seconds();
+
+  ++frame_;
+  out.total_seconds = total.seconds();
+  return out;
+}
+
+}  // namespace dcsn::core

@@ -1,0 +1,66 @@
+// The complete interactive pipeline of figure 3/5:
+//
+//   read data -> advect particles -> generate texture -> (render scene)
+//
+// Animator drives a DncSynthesizer frame by frame: the data callback lets
+// the application swap or mutate the field between frames (computational
+// steering updates arrive 5-15 times a second in the paper), the particle
+// system carries spot positions across frames, and an optional high-pass
+// filter post-processes each texture. The rendered scene (tone mapping and
+// overlays) is left to the application, as in the paper where it runs on
+// the draw traversal.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "core/dnc_synthesizer.hpp"
+#include "core/filters.hpp"
+#include "particles/particle_system.hpp"
+
+namespace dcsn::core {
+
+struct AnimatorConfig {
+  /// Advection time step per frame, as a fraction of the time it takes the
+  /// fastest particle to cross one spot radius — keeps apparent texture
+  /// motion consistent across data sets.
+  double advect_radius_fraction = 0.5;
+  /// Optional high-pass filter radius in pixels; 0 disables filtering.
+  int high_pass_radius = 0;
+  bool normalize = true;  ///< stabilize contrast across frames
+};
+
+struct AnimationFrame {
+  FrameStats synthesis;
+  double advect_seconds = 0.0;
+  double filter_seconds = 0.0;
+  double read_seconds = 0.0;
+  double total_seconds = 0.0;
+  const render::Framebuffer* texture = nullptr;  ///< valid until next step()
+};
+
+class Animator {
+ public:
+  /// `read_data` is pipeline step 1: it returns the field for this frame
+  /// (and may update it in place — steering). The field reference must stay
+  /// valid until the next call.
+  using ReadData = std::function<const field::VectorField&(std::int64_t frame)>;
+
+  Animator(AnimatorConfig config, DncSynthesizer& synthesizer,
+           particles::ParticleSystem& particles, ReadData read_data);
+
+  /// Runs one full pipeline iteration and returns its timing breakdown.
+  AnimationFrame step();
+
+  [[nodiscard]] std::int64_t frame_number() const { return frame_; }
+
+ private:
+  AnimatorConfig config_;
+  DncSynthesizer& synthesizer_;
+  particles::ParticleSystem& particles_;
+  ReadData read_data_;
+  std::int64_t frame_ = 0;
+  std::optional<render::Framebuffer> filtered_;
+};
+
+}  // namespace dcsn::core

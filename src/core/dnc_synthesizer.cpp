@@ -1,0 +1,257 @@
+#include "core/dnc_synthesizer.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace dcsn::core {
+
+DncSynthesizer::DncSynthesizer(SynthesisConfig synthesis, DncConfig dnc)
+    : synthesis_(synthesis),
+      dnc_(dnc),
+      final_(synthesis.texture_width, synthesis.texture_height),
+      start_barrier_(dnc.processors + 1),
+      end_barrier_(dnc.processors + 1) {
+  DCSN_CHECK(dnc_.pipes >= 1, "need at least one graphics pipe");
+  DCSN_CHECK(dnc_.processors >= dnc_.pipes,
+             "each pipe needs at least one processor (its master)");
+  DCSN_CHECK(dnc_.chunk_spots >= 1, "chunk size must be positive");
+
+  bus_ = std::make_shared<render::Bus>(dnc_.bus_bytes_per_second);
+
+  // Tiled mode: each pipe renders one region; otherwise each pipe renders
+  // the full texture and the partials are blended.
+  if (dnc_.tiled) {
+    tiles_ = make_tile_grid(synthesis_.texture_width, synthesis_.texture_height,
+                            dnc_.pipes);
+  }
+
+  groups_.reserve(static_cast<std::size_t>(dnc_.pipes));
+  for (int g = 0; g < dnc_.pipes; ++g) groups_.push_back(std::make_unique<Group>());
+  auto profile = render::SpotProfile::make_shared(synthesis_.profile_shape,
+                                                  synthesis_.profile_resolution);
+  for (int g = 0; g < dnc_.pipes; ++g) {
+    Group& group = *groups_[static_cast<std::size_t>(g)];
+    render::PipeConfig pc;
+    if (dnc_.tiled) {
+      const Tile& tile = tiles_[static_cast<std::size_t>(g)];
+      pc.width = tile.width;
+      pc.height = tile.height;
+    } else {
+      pc.width = synthesis_.texture_width;
+      pc.height = synthesis_.texture_height;
+    }
+    pc.state_change_seconds = dnc_.state_change_seconds;
+    pc.raster_cost_multiplier = dnc_.raster_cost_multiplier;
+    pc.queue_capacity = dnc_.pipe_queue_capacity;
+    group.pipe = std::make_unique<render::GraphicsPipe>(pc, bus_, g);
+    // Initial pipe state: the spot profile texture and additive blending.
+    // Set once; per-spot state changes are exactly what the design avoids.
+    group.pipe->bind_profile(profile);
+    group.pipe->set_blend_mode(render::BlendMode::kAdditive);
+    if (dnc_.tiled) {
+      const Tile& tile = tiles_[static_cast<std::size_t>(g)];
+      group.pipe->set_viewport_origin(static_cast<float>(tile.x0),
+                                      static_cast<float>(tile.y0));
+    }
+    // Drain setup commands now so their state-change cost never bleeds into
+    // the first frame's measurements.
+    group.pipe->finish();
+  }
+
+  // Processors are partitioned evenly over the pipes (paper §4): worker w
+  // belongs to group w % pipes, and the first worker of each group is its
+  // master.
+  worker_genP_.resize(static_cast<std::size_t>(dnc_.processors), 0.0);
+  for (int w = 0; w < dnc_.processors; ++w) {
+    const int g = w % dnc_.pipes;
+    const bool is_master = w < dnc_.pipes;
+    if (!is_master) ++groups_[static_cast<std::size_t>(g)]->slave_count;
+  }
+  workers_.reserve(static_cast<std::size_t>(dnc_.processors));
+  for (int w = 0; w < dnc_.processors; ++w) {
+    const int g = w % dnc_.pipes;
+    const bool is_master = w < dnc_.pipes;
+    workers_.emplace_back(
+        [this, w, g, is_master] { worker_loop(w, g, is_master); });
+  }
+}
+
+DncSynthesizer::~DncSynthesizer() {
+  stop_ = true;
+  start_barrier_.arrive_and_wait();  // release workers into the stop check
+}
+
+render::PipeStats DncSynthesizer::pipe_stats(int pipe) const {
+  DCSN_CHECK(pipe >= 0 && pipe < dnc_.pipes, "pipe index out of range");
+  return groups_[static_cast<std::size_t>(pipe)]->pipe->stats();
+}
+
+std::int64_t DncSynthesizer::global_index(const Group& group,
+                                          std::int64_t local) const {
+  return group.tile_indices
+             ? (*group.tile_indices)[static_cast<std::size_t>(local)]
+             : group.begin + local;
+}
+
+FrameStats DncSynthesizer::synthesize(const field::VectorField& f,
+                                      std::span<const SpotInstance> spots) {
+  const util::Stopwatch frame_watch;
+  FrameStats stats;
+  stats.spots = static_cast<std::int64_t>(spots.size());
+
+  job_field_ = &f;
+  job_spots_ = spots;
+  job_generator_ = std::make_unique<SpotGeometryGenerator>(synthesis_, f);
+
+  // --- preprocessing: partition the spot collection ---
+  const util::Stopwatch assign_watch;
+  if (dnc_.tiled) {
+    job_assignment_ = assign_spots_to_tiles(spots, job_generator_->mapping(),
+                                            job_generator_->max_extent_px(), tiles_);
+    for (int g = 0; g < dnc_.pipes; ++g) {
+      Group& group = *groups_[static_cast<std::size_t>(g)];
+      group.tile_indices = &job_assignment_.per_tile[static_cast<std::size_t>(g)];
+      group.work = std::make_unique<util::WorkCounter>(
+          static_cast<std::int64_t>(group.tile_indices->size()), dnc_.chunk_spots);
+      stats.spots_submitted +=
+          static_cast<std::int64_t>(group.tile_indices->size());
+    }
+    stats.duplicated_spots = job_assignment_.duplicates;
+  } else {
+    const auto n = static_cast<std::int64_t>(spots.size());
+    std::int64_t begin = 0;
+    for (int g = 0; g < dnc_.pipes; ++g) {
+      Group& group = *groups_[static_cast<std::size_t>(g)];
+      const std::int64_t share = n / dnc_.pipes + (g < n % dnc_.pipes ? 1 : 0);
+      group.tile_indices = nullptr;
+      group.begin = begin;
+      group.end = begin + share;
+      begin += share;
+      group.work =
+          std::make_unique<util::WorkCounter>(share, dnc_.chunk_spots);
+    }
+    stats.spots_submitted = n;
+  }
+  stats.assign_seconds = assign_watch.seconds();
+
+  for (auto& group : groups_) group->pipe->reset_stats();
+  bus_->reset_stats();
+
+  // --- parallel phase: all process groups generate and render ---
+  start_barrier_.arrive_and_wait();
+  end_barrier_.arrive_and_wait();
+
+  // --- sequential gather: the overhead term c of eq. 3.2 ---
+  const util::Stopwatch gather_watch;
+  if (dnc_.tiled) {
+    for (int g = 0; g < dnc_.pipes; ++g) {
+      Group& group = *groups_[static_cast<std::size_t>(g)];
+      const Tile& tile = tiles_[static_cast<std::size_t>(g)];
+      const render::Framebuffer part = group.pipe->read_back();
+      final_.copy_rect_from(part, tile.x0, tile.y0);
+      stats.readback_bytes += part.byte_size();
+    }
+  } else {
+    final_.clear();
+    for (auto& group : groups_) {
+      const render::Framebuffer part = group->pipe->read_back();
+      final_.accumulate(part);
+      stats.readback_bytes += part.byte_size();
+    }
+  }
+  stats.gather_seconds = gather_watch.seconds();
+
+  // --- bookkeeping ---
+  for (const double s : worker_genP_) stats.genP_seconds += s;
+  for (auto& group : groups_) {
+    const render::PipeStats ps = group->pipe->stats();
+    stats.genT_seconds += ps.busy_seconds;
+    stats.vertices += ps.vertices;
+    stats.geometry_bytes += ps.bytes_received;
+    stats.pipe_stall_seconds += ps.stall_seconds;
+    stats.pipe_state_seconds += ps.state_seconds;
+    stats.raster += ps.raster;
+  }
+  stats.frame_seconds = frame_watch.seconds();
+  job_generator_.reset();
+  return stats;
+}
+
+void DncSynthesizer::worker_loop(int worker_id, int group_id, bool is_master) {
+  util::set_current_thread_name((is_master ? "dcsn-m" : "dcsn-s") +
+                                std::to_string(worker_id));
+  Group& group = *groups_[static_cast<std::size_t>(group_id)];
+  while (true) {
+    start_barrier_.arrive_and_wait();
+    if (stop_) return;
+    worker_genP_[static_cast<std::size_t>(worker_id)] = 0.0;
+    if (is_master) {
+      run_master(group, worker_id);
+    } else {
+      run_slave(group, worker_id);
+    }
+    end_barrier_.arrive_and_wait();
+  }
+}
+
+render::CommandBuffer DncSynthesizer::generate_chunk(
+    const Group& group, util::WorkCounter::Range range, int worker_id) {
+  const util::Stopwatch watch;
+  render::CommandBuffer buffer;
+  buffer.reserve(static_cast<std::size_t>(range.size()),
+                 static_cast<std::size_t>(synthesis_.vertices_per_spot()));
+  for (std::int64_t local = range.begin; local < range.end; ++local) {
+    const std::int64_t k = global_index(group, local);
+    job_generator_->generate(job_spots_[static_cast<std::size_t>(k)], buffer);
+  }
+  worker_genP_[static_cast<std::size_t>(worker_id)] += watch.seconds();
+  return buffer;
+}
+
+void DncSynthesizer::run_master(Group& group, int worker_id) {
+  group.pipe->clear();
+  int done_slaves = 0;
+
+  auto handle = [&](Message& msg) {
+    if (msg.done) {
+      ++done_slaves;
+    } else {
+      group.pipe->submit(std::move(msg.buffer));
+    }
+  };
+
+  while (true) {
+    // Forwarding slave buffers has priority: a starved pipe is worse than a
+    // delayed chunk of master-side generation.
+    if (auto msg = group.inbox.try_pop()) {
+      handle(*msg);
+      continue;
+    }
+    if (const auto range = group.work->claim(); !range.empty()) {
+      group.pipe->submit(generate_chunk(group, range, worker_id));
+      continue;
+    }
+    if (done_slaves < group.slave_count) {
+      if (auto msg = group.inbox.pop()) {
+        handle(*msg);
+        continue;
+      }
+      break;  // queue closed (shutdown)
+    }
+    break;  // all work claimed, all slaves drained
+  }
+  group.pipe->finish();
+}
+
+void DncSynthesizer::run_slave(Group& group, int worker_id) {
+  while (true) {
+    const auto range = group.work->claim();
+    if (range.empty()) break;
+    group.inbox.push({generate_chunk(group, range, worker_id), false});
+  }
+  group.inbox.push({{}, true});
+}
+
+}  // namespace dcsn::core

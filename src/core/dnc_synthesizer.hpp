@@ -1,0 +1,150 @@
+// The divide-and-conquer spot noise engine — the paper's contribution.
+//
+// The spot collection is partitioned into disjoint sets, one per process
+// group. A process group is one master plus zero or more slaves mapped onto
+// the available processors, driving exactly one graphics pipe (paper §4):
+//
+//   * the master owns the pipe's context: it is the only thread that
+//     submits commands, and it performs spot-shape calculation itself
+//     whenever it would otherwise idle (or has no slaves at all);
+//   * slaves claim chunks of the group's spot set, transform them into
+//     command buffers and hand the buffers to their master;
+//   * each pipe renders its group's spots into a partial texture; after all
+//     groups complete, partial textures are gathered across the bus and
+//     blended sequentially — the overhead term c of eq. 3.2.
+//
+// With DncConfig::tiled set, groups work on disjoint texture regions
+// instead (texture decomposition): spots are assigned to regions by
+// location in a preprocessing step, spots near boundaries are duplicated
+// into every region they may touch, and the final compose is a cheap copy.
+//
+// Process groups persist across frames; synthesize() is called once per
+// animation frame with that frame's field and spot set, which is what makes
+// the algorithm usable for the paper's interactive steering and browsing
+// applications.
+#pragma once
+
+#include <barrier>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/spot_geometry.hpp"
+#include "core/spot_params.hpp"
+#include "core/tiling.hpp"
+#include "render/bus.hpp"
+#include "render/compose.hpp"
+#include "render/pipe.hpp"
+#include "util/queue.hpp"
+#include "util/stopwatch.hpp"
+#include "util/threading.hpp"
+
+namespace dcsn::core {
+
+struct DncConfig {
+  int processors = 4;  ///< total worker threads (masters included), the nP of eq. 3.2
+  int pipes = 1;       ///< graphics pipes / process groups, the nG of eq. 3.2
+  /// Spots per command buffer: the streaming granularity from processors to
+  /// pipes. Small enough to overlap generation with rendering, large enough
+  /// to amortize queue traffic.
+  std::int64_t chunk_spots = 32;
+  /// Shared host<->graphics bus bandwidth; 0 disables the bus model. The
+  /// paper's Onyx2 bus moves 800 MB/s.
+  double bus_bytes_per_second = 0.0;
+  /// Pipe state-change sync latency (see render::PipeConfig).
+  double state_change_seconds = 20e-6;
+  /// >1 slows rasterization to model a weaker pipe (ablations only).
+  double raster_cost_multiplier = 1.0;
+  std::size_t pipe_queue_capacity = 64;
+  /// Texture decomposition instead of full-texture gather-blend.
+  bool tiled = false;
+};
+
+/// Everything measured about one synthesized frame. The benches derive the
+/// paper's numbers from these.
+struct FrameStats {
+  double frame_seconds = 0.0;    ///< wall clock for the whole frame
+  double genP_seconds = 0.0;     ///< CPU spot-shape time, summed over workers
+  double genT_seconds = 0.0;     ///< pipe busy time, summed over pipes
+  double gather_seconds = 0.0;   ///< sequential readback + blend (term c)
+  double assign_seconds = 0.0;   ///< tiling preprocessing (tiled mode only)
+  std::int64_t spots = 0;            ///< input spot count
+  std::int64_t spots_submitted = 0;  ///< includes tiling duplicates
+  std::int64_t duplicated_spots = 0;
+  std::int64_t vertices = 0;
+  std::uint64_t geometry_bytes = 0;  ///< vertex traffic to the pipes
+  std::uint64_t readback_bytes = 0;  ///< texture traffic back to the host
+  double pipe_stall_seconds = 0.0;   ///< pipes waiting on the bus
+  double pipe_state_seconds = 0.0;   ///< pipes executing state changes
+  render::RasterStats raster;
+
+  /// Textures per second as the paper's tables report it.
+  [[nodiscard]] double textures_per_second() const {
+    return frame_seconds > 0.0 ? 1.0 / frame_seconds : 0.0;
+  }
+};
+
+class DncSynthesizer {
+ public:
+  DncSynthesizer(SynthesisConfig synthesis, DncConfig dnc);
+  ~DncSynthesizer();
+
+  DncSynthesizer(const DncSynthesizer&) = delete;
+  DncSynthesizer& operator=(const DncSynthesizer&) = delete;
+
+  /// Synthesizes one texture. `f` and `spots` must stay valid for the call.
+  FrameStats synthesize(const field::VectorField& f,
+                        std::span<const SpotInstance> spots);
+
+  [[nodiscard]] const render::Framebuffer& texture() const { return final_; }
+  [[nodiscard]] const SynthesisConfig& config() const { return synthesis_; }
+  [[nodiscard]] const DncConfig& dnc_config() const { return dnc_; }
+  [[nodiscard]] const std::vector<Tile>& tiles() const { return tiles_; }
+  [[nodiscard]] render::PipeStats pipe_stats(int pipe) const;
+
+ private:
+  struct Message {
+    render::CommandBuffer buffer;
+    bool done = false;  ///< slave finished its share of the frame
+  };
+
+  struct Group {
+    std::unique_ptr<render::GraphicsPipe> pipe;
+    util::BoundedQueue<Message> inbox{256};
+    std::unique_ptr<util::WorkCounter> work;  ///< over the group's local indices
+    const std::vector<std::int64_t>* tile_indices = nullptr;  ///< tiled mode
+    std::int64_t begin = 0;  ///< contiguous mode: global range [begin, end)
+    std::int64_t end = 0;
+    int slave_count = 0;
+  };
+
+  void worker_loop(int worker_id, int group_id, bool is_master);
+  void run_master(Group& group, int worker_id);
+  void run_slave(Group& group, int worker_id);
+  render::CommandBuffer generate_chunk(const Group& group,
+                                       util::WorkCounter::Range range,
+                                       int worker_id);
+  [[nodiscard]] std::int64_t global_index(const Group& group, std::int64_t local) const;
+
+  SynthesisConfig synthesis_;
+  DncConfig dnc_;
+
+  std::shared_ptr<render::Bus> bus_;
+  std::vector<Tile> tiles_;            ///< one per group in tiled mode
+  std::vector<std::unique_ptr<Group>> groups_;  // Group is immovable (owns a queue)
+  render::Framebuffer final_;
+
+  // Per-frame job state, written by synthesize() before the start barrier.
+  const field::VectorField* job_field_ = nullptr;
+  std::span<const SpotInstance> job_spots_;
+  std::unique_ptr<SpotGeometryGenerator> job_generator_;
+  TileAssignment job_assignment_;
+  bool stop_ = false;
+
+  std::vector<double> worker_genP_;  ///< per-worker CPU seconds, last frame
+  std::barrier<> start_barrier_;
+  std::barrier<> end_barrier_;
+  std::vector<std::jthread> workers_;  // last member: join before teardown
+};
+
+}  // namespace dcsn::core

@@ -1,0 +1,32 @@
+// Texture post-filters ("additional spot filtering operations may be applied
+// to the map", pipeline step 3; filtering enhancements are from de Leeuw &
+// van Wijk '95).
+//
+// High-pass filtering removes the low-frequency blotchiness of raw spot
+// noise so the fine advected streaks read clearly; contrast normalization
+// maps the result onto the displayable range independent of spot count.
+#pragma once
+
+#include "render/framebuffer.hpp"
+
+namespace dcsn::core {
+
+/// Separable box blur with the given half-width (radius), border-clamped.
+/// radius == 0 is a copy.
+[[nodiscard]] render::Framebuffer box_blur(const render::Framebuffer& texture,
+                                           int radius);
+
+/// High-pass: texture minus its box blur. The classic spot filter.
+[[nodiscard]] render::Framebuffer high_pass(const render::Framebuffer& texture,
+                                            int radius);
+
+/// Affine remap so that mean -> 0 and `sigmas` standard deviations -> ±1.
+/// Gives frames of an animation a stable contrast.
+void normalize_contrast(render::Framebuffer& texture, double sigmas = 2.0);
+
+/// Histogram equalization onto [-1, 1] (256 bins) — the strongest contrast
+/// enhancement, used when textures must stay readable across extreme
+/// parameter settings.
+void equalize_histogram(render::Framebuffer& texture);
+
+}  // namespace dcsn::core

@@ -1,0 +1,61 @@
+#include "core/perf_model.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace dcsn::core {
+
+PerfModel PerfModel::calibrate(const FrameStats& frame, int pipes_used) {
+  DCSN_CHECK(frame.spots > 0, "cannot calibrate from an empty frame");
+  DCSN_CHECK(pipes_used >= 1, "pipes_used must be >= 1");
+  PerfModelParams p;
+  const auto spots = static_cast<double>(frame.spots);
+  // genP_seconds is summed over workers, genT over pipes, so both are
+  // totals across the whole spot set already.
+  p.genP_per_spot = frame.genP_seconds / spots;
+  p.genT_per_spot = frame.genT_seconds / spots;
+  p.gather_per_pipe = frame.gather_seconds / pipes_used;
+  p.fixed_overhead = std::max(
+      0.0, frame.frame_seconds - frame.gather_seconds -
+               std::max(frame.genP_seconds, frame.genT_seconds / pipes_used));
+  return PerfModel(p);
+}
+
+double PerfModel::predict_serial(std::int64_t spots) const {
+  const auto n = static_cast<double>(spots);
+  return std::max(n * params_.genP_per_spot, n * params_.genT_per_spot) +
+         params_.gather_per_pipe + params_.fixed_overhead;
+}
+
+double PerfModel::predict(std::int64_t spots, int processors, int pipes) const {
+  DCSN_CHECK(processors >= 1 && pipes >= 1, "configuration must be positive");
+  const auto n = static_cast<double>(spots);
+  const double cpu = n * params_.genP_per_spot / processors;
+  const double gfx = n * params_.genT_per_spot / pipes;
+  const double c = params_.gather_per_pipe * pipes + params_.fixed_overhead;
+  return std::max(cpu, gfx) + c;
+}
+
+double PerfModel::processors_per_pipe_balance() const {
+  if (params_.genT_per_spot <= 0.0) return 1.0;
+  return params_.genP_per_spot / params_.genT_per_spot;
+}
+
+AllocationChoice best_allocation(const PerfModel& model, std::int64_t spots,
+                                 int max_processors, int max_pipes) {
+  DCSN_CHECK(max_processors >= 1 && max_pipes >= 1, "machine limits must be positive");
+  AllocationChoice best;
+  best.predicted_seconds = model.predict(spots, 1, 1);
+  for (int g = 1; g <= max_pipes; ++g) {
+    for (int p = g; p <= max_processors; ++p) {  // every pipe needs a master
+      const double t = model.predict(spots, p, g);
+      if (t < best.predicted_seconds) {
+        best = {p, g, t};
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace dcsn::core

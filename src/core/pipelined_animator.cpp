@@ -1,0 +1,74 @@
+#include "core/pipelined_animator.hpp"
+
+#include "util/error.hpp"
+#include "util/stopwatch.hpp"
+
+namespace dcsn::core {
+
+PipelinedAnimator::PipelinedAnimator(AnimatorConfig config,
+                                     DncSynthesizer& synthesizer,
+                                     particles::ParticleSystem& particles,
+                                     Animator::ReadData read_data)
+    : config_(config),
+      synthesizer_(synthesizer),
+      particles_(particles),
+      read_data_(std::move(read_data)) {
+  DCSN_CHECK(config_.advect_radius_fraction > 0.0, "advection step must be positive");
+  DCSN_CHECK(static_cast<bool>(read_data_), "read_data callback required");
+  current_ = prepare(0);  // prologue: the first frame cannot overlap
+}
+
+PipelinedAnimator::Prepared PipelinedAnimator::prepare(std::int64_t frame) {
+  const util::Stopwatch watch;
+  Prepared p;
+  const field::VectorField& f = read_data_(frame);
+  p.field = &f;
+
+  const SynthesisConfig& sc = synthesizer_.config();
+  const double world_per_px = 0.5 * (f.domain().width() / sc.texture_width +
+                                     f.domain().height() / sc.texture_height);
+  const double max_mag = f.max_magnitude();
+  const double dt = max_mag > 0.0 ? config_.advect_radius_fraction *
+                                        sc.spot_radius_px * world_per_px / max_mag
+                                  : 0.0;
+  particles_.advance(f, dt);
+  p.spots = spots_from_particles(particles_);
+  p.prepare_seconds = watch.seconds();
+  return p;
+}
+
+AnimationFrame PipelinedAnimator::step() {
+  const util::Stopwatch total;
+  AnimationFrame out;
+
+  // Kick off preparation of frame n+1 on a helper thread...
+  next_ = std::async(std::launch::async,
+                     [this, next_frame = frame_ + 1] { return prepare(next_frame); });
+
+  // ...while frame n synthesizes on the engine. The engine never sees the
+  // particle system, only the immutable snapshot taken by prepare().
+  out.synthesis = synthesizer_.synthesize(*current_.field, current_.spots);
+  out.read_seconds = current_.prepare_seconds;  // combined read+advect cost
+  out.advect_seconds = 0.0;                     // hidden inside read_seconds
+
+  util::Stopwatch watch;
+  if (config_.high_pass_radius > 0) {
+    filtered_ = high_pass(synthesizer_.texture(), config_.high_pass_radius);
+    if (config_.normalize) normalize_contrast(*filtered_);
+    out.texture = &*filtered_;
+  } else if (config_.normalize) {
+    filtered_ = synthesizer_.texture();
+    normalize_contrast(*filtered_);
+    out.texture = &*filtered_;
+  } else {
+    out.texture = &synthesizer_.texture();
+  }
+  out.filter_seconds = watch.seconds();
+
+  current_ = next_.get();
+  ++frame_;
+  out.total_seconds = total.seconds();
+  return out;
+}
+
+}  // namespace dcsn::core

@@ -1,0 +1,51 @@
+// Software pipelining across animation frames.
+//
+// The paper overlaps CPU work with the graphics subsystem *within* a frame
+// (eq. 2.1). The same coprocessor view extends across frames: while the
+// engine synthesizes frame n from an immutable spot snapshot, the next
+// frame's data read and particle advection can already run — they only
+// touch the model and the particle system, not the snapshot. This hides
+// steps 1-2 of the pipeline behind step 3 and is the natural "future work"
+// extension of the paper's design.
+#pragma once
+
+#include <future>
+
+#include "core/animator.hpp"
+
+namespace dcsn::core {
+
+class PipelinedAnimator {
+ public:
+  /// Same contract as Animator: `read_data` may mutate and must return the
+  /// frame's field; the reference must stay valid until the *end of the
+  /// next* step() (the pipeline holds one frame in flight).
+  PipelinedAnimator(AnimatorConfig config, DncSynthesizer& synthesizer,
+                    particles::ParticleSystem& particles, Animator::ReadData read_data);
+
+  /// Runs one pipelined iteration: synthesizes from the spots prepared by
+  /// the previous step while preparing the next spot snapshot concurrently.
+  AnimationFrame step();
+
+  [[nodiscard]] std::int64_t frame_number() const { return frame_; }
+
+ private:
+  struct Prepared {
+    const field::VectorField* field = nullptr;
+    std::vector<SpotInstance> spots;
+    double prepare_seconds = 0.0;
+  };
+
+  Prepared prepare(std::int64_t frame);
+
+  AnimatorConfig config_;
+  DncSynthesizer& synthesizer_;
+  particles::ParticleSystem& particles_;
+  Animator::ReadData read_data_;
+  std::int64_t frame_ = 0;
+  Prepared current_;
+  std::future<Prepared> next_;
+  std::optional<render::Framebuffer> filtered_;
+};
+
+}  // namespace dcsn::core

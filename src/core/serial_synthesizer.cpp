@@ -1,0 +1,111 @@
+#include "core/serial_synthesizer.hpp"
+
+#include <omp.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/stopwatch.hpp"
+
+namespace dcsn::core {
+
+SerialSynthesizer::SerialSynthesizer(SynthesisConfig config)
+    : config_(config),
+      texture_(config.texture_width, config.texture_height),
+      profile_(render::SpotProfile::make_shared(config.profile_shape,
+                                                config.profile_resolution)) {}
+
+double SerialSynthesizer::natural_intensity(const SynthesisConfig& config) {
+  const double texture_area =
+      static_cast<double>(config.texture_width) * config.texture_height;
+  const double spot_area =
+      config.spot_radius_px * config.spot_radius_px * 3.141592653589793;
+  const double overlap =
+      std::max(1.0, static_cast<double>(config.spot_count) * spot_area / texture_area);
+  return 1.0 / std::sqrt(overlap);
+}
+
+SerialStats SerialSynthesizer::synthesize(const field::VectorField& f,
+                                          std::span<const SpotInstance> spots,
+                                          int threads) {
+  DCSN_CHECK(threads >= 1, "thread count must be >= 1");
+  const util::Stopwatch total;
+  SerialStats stats;
+  stats.spots = static_cast<std::int64_t>(spots.size());
+
+  const SpotGeometryGenerator generator(config_, f);
+  texture_.clear();
+
+  constexpr std::int64_t kChunk = 64;
+
+  if (threads == 1) {
+    const render::RasterTarget target{texture_.pixels(), 0.0f, 0.0f};
+    render::CommandBuffer buffer;
+    buffer.reserve(kChunk, static_cast<std::size_t>(config_.vertices_per_spot()));
+    util::TimeAccumulator genP, genT;
+    for (std::size_t begin = 0; begin < spots.size(); begin += kChunk) {
+      const std::size_t end = std::min(spots.size(), begin + kChunk);
+      buffer.clear();
+      {
+        const util::ScopedTimer t(genP);
+        for (std::size_t k = begin; k < end; ++k) generator.generate(spots[k], buffer);
+      }
+      {
+        const util::ScopedTimer t(genT);
+        render::rasterize_buffer(target, buffer, *profile_, render::BlendMode::kAdditive,
+                                 stats.raster);
+      }
+      stats.vertices += static_cast<std::int64_t>(buffer.vertex_count());
+    }
+    stats.genP_seconds = genP.seconds();
+    stats.genT_seconds = genT.seconds();
+  } else {
+    // Worker-private framebuffers, reduced by addition afterwards.
+    std::vector<render::Framebuffer> partials;
+    partials.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t)
+      partials.emplace_back(config_.texture_width, config_.texture_height);
+    std::vector<double> genP(static_cast<std::size_t>(threads), 0.0);
+    std::vector<double> genT(static_cast<std::size_t>(threads), 0.0);
+    std::vector<render::RasterStats> raster(static_cast<std::size_t>(threads));
+    std::vector<std::int64_t> vertices(static_cast<std::size_t>(threads), 0);
+
+    const auto n = static_cast<std::int64_t>(spots.size());
+#pragma omp parallel num_threads(threads)
+    {
+      const auto tid = static_cast<std::size_t>(omp_get_thread_num());
+      const render::RasterTarget target{partials[tid].pixels(), 0.0f, 0.0f};
+      render::CommandBuffer buffer;
+      buffer.reserve(kChunk, static_cast<std::size_t>(config_.vertices_per_spot()));
+#pragma omp for schedule(dynamic, 1)
+      for (std::int64_t chunk = 0; chunk < (n + kChunk - 1) / kChunk; ++chunk) {
+        const std::int64_t begin = chunk * kChunk;
+        const std::int64_t end = std::min(n, begin + kChunk);
+        buffer.clear();
+        util::Stopwatch watch;
+        for (std::int64_t k = begin; k < end; ++k)
+          generator.generate(spots[static_cast<std::size_t>(k)], buffer);
+        genP[tid] += watch.seconds();
+        watch.restart();
+        render::rasterize_buffer(target, buffer, *profile_,
+                                 render::BlendMode::kAdditive, raster[tid]);
+        genT[tid] += watch.seconds();
+        vertices[tid] += static_cast<std::int64_t>(buffer.vertex_count());
+      }
+    }
+    for (int t = 0; t < threads; ++t) {
+      const auto ts = static_cast<std::size_t>(t);
+      texture_.accumulate(partials[ts]);
+      stats.genP_seconds += genP[ts];
+      stats.genT_seconds += genT[ts];
+      stats.raster += raster[ts];
+      stats.vertices += vertices[ts];
+    }
+  }
+
+  stats.total_seconds = total.seconds();
+  return stats;
+}
+
+}  // namespace dcsn::core

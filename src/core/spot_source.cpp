@@ -1,0 +1,28 @@
+#include "core/spot_source.hpp"
+
+namespace dcsn::core {
+
+std::vector<SpotInstance> make_random_spots(field::Rect domain, std::int64_t count,
+                                            util::Rng& rng) {
+  std::vector<SpotInstance> spots;
+  spots.reserve(static_cast<std::size_t>(count));
+  for (std::int64_t k = 0; k < count; ++k) {
+    SpotInstance s;
+    s.position = {rng.uniform(domain.x0, domain.x1), rng.uniform(domain.y0, domain.y1)};
+    s.intensity = rng.intensity();
+    spots.push_back(s);
+  }
+  return spots;
+}
+
+std::vector<SpotInstance> spots_from_particles(
+    const particles::ParticleSystem& system) {
+  std::vector<SpotInstance> spots;
+  spots.reserve(system.particles().size());
+  for (const particles::Particle& p : system.particles()) {
+    spots.push_back({p.position, p.intensity * system.fade_weight(p)});
+  }
+  return spots;
+}
+
+}  // namespace dcsn::core

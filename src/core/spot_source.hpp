@@ -1,0 +1,33 @@
+// Spot instances: where spots sit and how strongly they contribute.
+//
+// A static texture draws positions i.i.d. uniform (the x_i of the spot-noise
+// definition); an animated texture takes them from a ParticleSystem, with the
+// life-cycle fade folded into the intensity. Figure 2's "advected spot
+// positions" variant advects the population for a while before synthesis so
+// density accumulates along flow structures.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "field/vec2.hpp"
+#include "particles/particle_system.hpp"
+#include "util/rng.hpp"
+
+namespace dcsn::core {
+
+struct SpotInstance {
+  field::Vec2 position;     ///< world coordinates
+  double intensity = 0.0;   ///< zero-mean weight a_i (fade already applied)
+};
+
+/// `count` spots with uniform positions and uniform [-1,1] intensities.
+[[nodiscard]] std::vector<SpotInstance> make_random_spots(field::Rect domain,
+                                                          std::int64_t count,
+                                                          util::Rng& rng);
+
+/// One spot per particle; intensity = particle intensity * fade weight.
+[[nodiscard]] std::vector<SpotInstance> spots_from_particles(
+    const particles::ParticleSystem& system);
+
+}  // namespace dcsn::core

@@ -1,0 +1,61 @@
+#include "core/tiling.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace dcsn::core {
+
+std::vector<Tile> make_tile_grid(int width, int height, int count) {
+  DCSN_CHECK(width > 0 && height > 0, "texture dimensions must be positive");
+  DCSN_CHECK(count >= 1, "tile count must be >= 1");
+  // Near-square grid: cols * rows >= count with cols >= rows, trimmed so
+  // every tile is non-empty.
+  int cols = static_cast<int>(std::ceil(std::sqrt(static_cast<double>(count))));
+  int rows = (count + cols - 1) / cols;
+  cols = (count + rows - 1) / rows;  // shrink cols if the last row is empty
+
+  std::vector<Tile> tiles;
+  tiles.reserve(static_cast<std::size_t>(count));
+  int assigned = 0;
+  for (int r = 0; r < rows && assigned < count; ++r) {
+    // Tiles in the last row may be wider when count doesn't fill the grid.
+    const int in_this_row = std::min(cols, count - assigned);
+    const int y0 = r * height / rows;
+    const int y1 = (r + 1) * height / rows;
+    for (int c = 0; c < in_this_row; ++c) {
+      const int x0 = c * width / in_this_row;
+      const int x1 = (c + 1) * width / in_this_row;
+      tiles.push_back({x0, y0, x1 - x0, y1 - y0});
+      ++assigned;
+    }
+  }
+  return tiles;
+}
+
+TileAssignment assign_spots_to_tiles(std::span<const SpotInstance> spots,
+                                     const render::WorldToImage& mapping,
+                                     double extent_px, std::span<const Tile> tiles) {
+  DCSN_CHECK(extent_px >= 0.0, "spot extent must be non-negative");
+  TileAssignment out;
+  out.per_tile.resize(tiles.size());
+  std::int64_t assignments = 0;
+  for (std::size_t k = 0; k < spots.size(); ++k) {
+    const auto [px, py] = mapping.map(spots[k].position);
+    const double lo_x = px - extent_px;
+    const double hi_x = px + extent_px;
+    const double lo_y = py - extent_px;
+    const double hi_y = py + extent_px;
+    for (std::size_t t = 0; t < tiles.size(); ++t) {
+      const Tile& tile = tiles[t];
+      if (hi_x < tile.x0 || lo_x > tile.x0 + tile.width) continue;
+      if (hi_y < tile.y0 || lo_y > tile.y0 + tile.height) continue;
+      out.per_tile[t].push_back(static_cast<std::int64_t>(k));
+      ++assignments;
+    }
+  }
+  out.duplicates = assignments - static_cast<std::int64_t>(spots.size());
+  return out;
+}
+
+}  // namespace dcsn::core

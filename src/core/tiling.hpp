@@ -1,0 +1,44 @@
+// Texture decomposition (paper §3, "texture decomposition" tradeoff; §4,
+// "we have also implemented texture tiling").
+//
+// Each process group renders only a predefined region of the final texture.
+// Spots are assigned to regions by location in a preprocessing step; a spot
+// whose extent may touch several regions is assigned to each of them (the
+// duplication cost the paper accepts in exchange for a cheap compose: tiles
+// are disjoint, so the final texture is assembled by copies, not blends).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/spot_source.hpp"
+#include "render/overlay.hpp"
+
+namespace dcsn::core {
+
+struct Tile {
+  int x0 = 0;      ///< pixel rect inside the final texture
+  int y0 = 0;
+  int width = 0;
+  int height = 0;
+};
+
+/// Splits a width x height texture into `count` tiles arranged in a
+/// near-square grid. Every pixel belongs to exactly one tile.
+[[nodiscard]] std::vector<Tile> make_tile_grid(int width, int height, int count);
+
+struct TileAssignment {
+  /// spot indices per tile, in ascending order
+  std::vector<std::vector<std::int64_t>> per_tile;
+  /// sum of list lengths minus the spot count: the duplicated work
+  std::int64_t duplicates = 0;
+};
+
+/// Assigns each spot to every tile its extent (a square of half-width
+/// `extent_px` around the mapped position) overlaps.
+[[nodiscard]] TileAssignment assign_spots_to_tiles(
+    std::span<const SpotInstance> spots, const render::WorldToImage& mapping,
+    double extent_px, std::span<const Tile> tiles);
+
+}  // namespace dcsn::core

@@ -1,0 +1,109 @@
+#include "field/analytic.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace dcsn::field::analytic {
+
+namespace {
+constexpr double kPi = std::numbers::pi;
+}
+
+std::unique_ptr<VectorField> uniform(Vec2 velocity, Rect domain) {
+  return std::make_unique<CallableField>([velocity](Vec2) { return velocity; },
+                                         domain, velocity.length());
+}
+
+std::unique_ptr<VectorField> shear(double rate, Rect domain) {
+  const double yc = domain.center().y;
+  const double max_mag = std::abs(rate) * domain.height() * 0.5;
+  return std::make_unique<CallableField>(
+      [rate, yc](Vec2 p) { return Vec2{rate * (p.y - yc), 0.0}; }, domain, max_mag);
+}
+
+std::unique_ptr<VectorField> rigid_vortex(Vec2 center, double omega, Rect domain) {
+  // Velocity grows linearly with radius; the domain corner bounds it.
+  const double rmax = std::max((domain.max() - center).length(),
+                               (domain.min() - center).length());
+  return std::make_unique<CallableField>(
+      [center, omega](Vec2 p) {
+        const Vec2 r = p - center;
+        return Vec2{-omega * r.y, omega * r.x};
+      },
+      domain, std::abs(omega) * rmax);
+}
+
+std::unique_ptr<VectorField> rankine_vortex(Vec2 center, double strength,
+                                            double core_radius, Rect domain) {
+  const double peak = std::abs(strength) / (2.0 * kPi * core_radius);
+  return std::make_unique<CallableField>(
+      [center, strength, core_radius](Vec2 p) {
+        const Vec2 r = p - center;
+        const double dist = r.length();
+        if (dist < 1e-12) return Vec2{};
+        // Tangential speed: (Gamma/2pi) * r/R^2 inside the core, (Gamma/2pi)/r outside.
+        const double coef = strength / (2.0 * kPi);
+        const double tangential = dist <= core_radius
+                                      ? coef * dist / (core_radius * core_radius)
+                                      : coef / dist;
+        const Vec2 tangent = Vec2{-r.y, r.x} / dist;
+        return tangent * tangential;
+      },
+      domain, peak);
+}
+
+std::unique_ptr<VectorField> saddle(Vec2 center, double k, Rect domain) {
+  const double reach = std::max(domain.width(), domain.height());
+  return std::make_unique<CallableField>(
+      [center, k](Vec2 p) {
+        const Vec2 r = p - center;
+        return Vec2{k * r.x, -k * r.y};
+      },
+      domain, std::abs(k) * reach);
+}
+
+std::unique_ptr<VectorField> separation(double sep_x, double strength, Rect domain) {
+  // u decays linearly toward the separation line and reverses beyond it;
+  // v diverges away from the attachment point on the line. The result is a
+  // saddle on (sep_x, yc) with the separation line x = sep_x as the stable
+  // manifold — matching the topology of flow attaching to a blunt face.
+  const double yc = domain.center().y;
+  const double xspan = std::max(sep_x - domain.x0, domain.x1 - sep_x);
+  const double max_mag =
+      strength * std::hypot(xspan, domain.height() * 0.5);
+  return std::make_unique<CallableField>(
+      [sep_x, yc, strength](Vec2 p) {
+        return Vec2{-strength * (p.x - sep_x), strength * (p.y - yc)};
+      },
+      domain, max_mag);
+}
+
+std::unique_ptr<VectorField> double_gyre(double amplitude, double eps, double omega,
+                                         double t) {
+  const Rect domain{0.0, 0.0, 2.0, 1.0};
+  const double a = eps * std::sin(omega * t);
+  const double b = 1.0 - 2.0 * eps * std::sin(omega * t);
+  return std::make_unique<CallableField>(
+      [amplitude, a, b](Vec2 p) {
+        const double fx = a * p.x * p.x + b * p.x;
+        const double dfx = 2.0 * a * p.x + b;
+        return Vec2{-kPi * amplitude * std::sin(kPi * fx) * std::cos(kPi * p.y),
+                    kPi * amplitude * std::cos(kPi * fx) * std::sin(kPi * p.y) * dfx};
+      },
+      domain, kPi * amplitude * 2.0);
+}
+
+std::unique_ptr<VectorField> taylor_green(double amplitude, Rect domain) {
+  const double sx = kPi / domain.width();
+  const double sy = kPi / domain.height();
+  return std::make_unique<CallableField>(
+      [amplitude, sx, sy, domain](Vec2 p) {
+        const double u = (p.x - domain.x0) * sx;
+        const double v = (p.y - domain.y0) * sy;
+        return Vec2{amplitude * std::sin(u) * std::cos(v),
+                    -amplitude * std::cos(u) * std::sin(v)};
+      },
+      domain, amplitude);
+}
+
+}  // namespace dcsn::field::analytic

@@ -1,0 +1,198 @@
+#include "field/curvilinear.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace dcsn::field {
+
+CurvilinearGrid::CurvilinearGrid(int nx, int ny, std::vector<Vec2> nodes)
+    : nx_(nx), ny_(ny), nodes_(std::move(nodes)) {
+  DCSN_CHECK(nx >= 2 && ny >= 2, "curvilinear grid needs at least 2x2 nodes");
+  DCSN_CHECK(nodes_.size() == static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny),
+             "node count must be nx * ny");
+  double x0 = nodes_[0].x, x1 = nodes_[0].x, y0 = nodes_[0].y, y1 = nodes_[0].y;
+  for (const Vec2& n : nodes_) {
+    x0 = std::min(x0, n.x);
+    x1 = std::max(x1, n.x);
+    y0 = std::min(y0, n.y);
+    y1 = std::max(y1, n.y);
+  }
+  DCSN_CHECK(x1 > x0 && y1 > y0, "degenerate curvilinear grid");
+  bounds_ = {x0, y0, x1, y1};
+  build_index();
+}
+
+CurvilinearGrid CurvilinearGrid::from_mapping(
+    int nx, int ny, const std::function<Vec2(int, int)>& node) {
+  std::vector<Vec2> nodes(static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny));
+  for (int j = 0; j < ny; ++j)
+    for (int i = 0; i < nx; ++i)
+      nodes[static_cast<std::size_t>(j) * static_cast<std::size_t>(nx) +
+            static_cast<std::size_t>(i)] = node(i, j);
+  return {nx, ny, std::move(nodes)};
+}
+
+void CurvilinearGrid::build_index() {
+  // Bin resolution ~ one bin per cell on average, clamped for tiny grids.
+  const int cells = (nx_ - 1) * (ny_ - 1);
+  const int target = std::max(1, static_cast<int>(std::sqrt(static_cast<double>(cells))));
+  bins_x_ = target;
+  bins_y_ = target;
+  bins_.assign(static_cast<std::size_t>(bins_x_) * static_cast<std::size_t>(bins_y_), {});
+
+  auto bin_range = [](double lo, double hi, double b0, double b1, int bins) {
+    const int first = std::clamp(
+        static_cast<int>((lo - b0) / (b1 - b0) * bins), 0, bins - 1);
+    const int last = std::clamp(
+        static_cast<int>((hi - b0) / (b1 - b0) * bins), 0, bins - 1);
+    return std::pair{first, last};
+  };
+
+  for (int cj = 0; cj < ny_ - 1; ++cj) {
+    for (int ci = 0; ci < nx_ - 1; ++ci) {
+      const Vec2 a = position(ci, cj);
+      const Vec2 b = position(ci + 1, cj);
+      const Vec2 c = position(ci + 1, cj + 1);
+      const Vec2 d = position(ci, cj + 1);
+      const double lo_x = std::min({a.x, b.x, c.x, d.x});
+      const double hi_x = std::max({a.x, b.x, c.x, d.x});
+      const double lo_y = std::min({a.y, b.y, c.y, d.y});
+      const double hi_y = std::max({a.y, b.y, c.y, d.y});
+      const auto [bx0, bx1] = bin_range(lo_x, hi_x, bounds_.x0, bounds_.x1, bins_x_);
+      const auto [by0, by1] = bin_range(lo_y, hi_y, bounds_.y0, bounds_.y1, bins_y_);
+      const auto cell_id = static_cast<std::int32_t>(cj * (nx_ - 1) + ci);
+      for (int by = by0; by <= by1; ++by)
+        for (int bx = bx0; bx <= bx1; ++bx)
+          bins_[static_cast<std::size_t>(by) * static_cast<std::size_t>(bins_x_) +
+                static_cast<std::size_t>(bx)]
+              .push_back(cell_id);
+    }
+  }
+}
+
+bool CurvilinearGrid::point_in_cell(Vec2 p, int ci, int cj) const {
+  // Convex quad: p is inside iff it is on the same side of all four edges
+  // (counterclockwise or clockwise consistently).
+  const Vec2 corners[4] = {position(ci, cj), position(ci + 1, cj),
+                           position(ci + 1, cj + 1), position(ci, cj + 1)};
+  int sign = 0;
+  for (int k = 0; k < 4; ++k) {
+    const Vec2 edge = corners[(k + 1) % 4] - corners[k];
+    const double cross = edge.cross(p - corners[k]);
+    if (cross == 0.0) continue;  // on the edge: acceptable
+    const int s = cross > 0.0 ? 1 : -1;
+    if (sign == 0) {
+      sign = s;
+    } else if (s != sign) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::optional<CellCoord> CurvilinearGrid::invert_cell(Vec2 p, int ci, int cj) const {
+  // Bilinear cell mapping: X(u,v) = (1-u)(1-v)A + u(1-v)B + uvC + (1-u)vD.
+  // Newton iteration on F(u,v) = X(u,v) - p with the analytic Jacobian.
+  const Vec2 a = position(ci, cj);
+  const Vec2 b = position(ci + 1, cj);
+  const Vec2 c = position(ci + 1, cj + 1);
+  const Vec2 d = position(ci, cj + 1);
+
+  double u = 0.5, v = 0.5;
+  for (int iter = 0; iter < 12; ++iter) {
+    const Vec2 x = a * ((1 - u) * (1 - v)) + b * (u * (1 - v)) + c * (u * v) +
+                   d * ((1 - u) * v);
+    const Vec2 r = x - p;
+    if (r.length_sq() < 1e-24) break;
+    const Vec2 dxu = (b - a) * (1 - v) + (c - d) * v;
+    const Vec2 dxv = (d - a) * (1 - u) + (c - b) * u;
+    const double det = dxu.cross(dxv);
+    if (std::abs(det) < 1e-18) return std::nullopt;  // degenerate cell
+    // Solve J * delta = r.
+    const double du = (r.cross(dxv)) / det;
+    const double dv = (dxu.cross(r)) / det;
+    u -= du;
+    v -= dv;
+    if (!std::isfinite(u) || !std::isfinite(v)) return std::nullopt;
+  }
+  constexpr double kSlack = 1e-9;
+  if (u < -kSlack || u > 1.0 + kSlack || v < -kSlack || v > 1.0 + kSlack)
+    return std::nullopt;
+  CellCoord coord;
+  coord.i = ci;
+  coord.j = cj;
+  coord.fx = std::clamp(u, 0.0, 1.0);
+  coord.fy = std::clamp(v, 0.0, 1.0);
+  return coord;
+}
+
+std::optional<CellCoord> CurvilinearGrid::locate(Vec2 p) const {
+  if (!bounds_.contains(p)) return std::nullopt;
+  const int bx = std::clamp(
+      static_cast<int>((p.x - bounds_.x0) / bounds_.width() * bins_x_), 0, bins_x_ - 1);
+  const int by = std::clamp(
+      static_cast<int>((p.y - bounds_.y0) / bounds_.height() * bins_y_), 0,
+      bins_y_ - 1);
+  const auto& candidates =
+      bins_[static_cast<std::size_t>(by) * static_cast<std::size_t>(bins_x_) +
+            static_cast<std::size_t>(bx)];
+  for (const std::int32_t cell : candidates) {
+    const int ci = cell % (nx_ - 1);
+    const int cj = cell / (nx_ - 1);
+    if (!point_in_cell(p, ci, cj)) continue;
+    if (auto coord = invert_cell(p, ci, cj)) return coord;
+  }
+  return std::nullopt;
+}
+
+// ------------------------------------------------- CurvilinearVectorField ---
+
+CurvilinearVectorField::CurvilinearVectorField(CurvilinearGrid grid,
+                                               std::vector<Vec2> data)
+    : grid_(std::move(grid)), data_(std::move(data)) {
+  DCSN_CHECK(data_.size() == grid_.sample_count(),
+             "sample count must match grid size");
+}
+
+Vec2 CurvilinearVectorField::sample(Vec2 p) const {
+  const auto coord = grid_.locate(grid_.bounds().clamp(p));
+  if (!coord) return {};  // outside the body-fitted region
+  const Vec2 v00 = at(coord->i, coord->j);
+  const Vec2 v10 = at(coord->i + 1, coord->j);
+  const Vec2 v11 = at(coord->i + 1, coord->j + 1);
+  const Vec2 v01 = at(coord->i, coord->j + 1);
+  const double u = coord->fx;
+  const double w = coord->fy;
+  return v00 * ((1 - u) * (1 - w)) + v10 * (u * (1 - w)) + v11 * (u * w) +
+         v01 * ((1 - u) * w);
+}
+
+double CurvilinearVectorField::max_magnitude() const {
+  if (!max_valid_) {
+    double best = 0.0;
+    for (const Vec2& v : data_) best = std::max(best, v.length_sq());
+    max_mag_ = std::sqrt(best);
+    max_valid_ = true;
+  }
+  return max_mag_;
+}
+
+CurvilinearGrid make_annulus_grid(Vec2 center, double r_inner, double r_outer,
+                                  int radial, int angular) {
+  DCSN_CHECK(r_outer > r_inner && r_inner > 0.0, "annulus radii must satisfy 0 < inner < outer");
+  DCSN_CHECK(radial >= 2 && angular >= 4, "annulus grid too coarse");
+  return CurvilinearGrid::from_mapping(angular, radial, [&](int i, int j) {
+    // Note: angular direction stops short of 2*pi so the grid does not
+    // self-overlap (the seam is a boundary, like a C-grid cut).
+    const double theta =
+        2.0 * std::numbers::pi * (static_cast<double>(i) / angular);
+    const double r =
+        r_inner + (r_outer - r_inner) * (static_cast<double>(j) / (radial - 1));
+    return Vec2{center.x + r * std::cos(theta), center.y + r * std::sin(theta)};
+  });
+}
+
+}  // namespace dcsn::field

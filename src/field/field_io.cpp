@@ -1,0 +1,117 @@
+#include "field/field_io.hpp"
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace dcsn::field {
+
+namespace {
+
+constexpr std::uint32_t kMagicRectVec = 0x44435631;    // "DCV1"
+constexpr std::uint32_t kMagicRegVec = 0x44435632;     // "DCV2"
+constexpr std::uint32_t kMagicRectScalar = 0x44435333; // "DCS3"
+
+template <class T>
+void write_pod(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <class T>
+T read_pod(std::istream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  DCSN_CHECK(in.good(), "unexpected end of field stream");
+  return v;
+}
+
+void write_axis(std::ostream& out, const std::vector<double>& axis) {
+  write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(axis.size()));
+  out.write(reinterpret_cast<const char*>(axis.data()),
+            static_cast<std::streamsize>(axis.size() * sizeof(double)));
+}
+
+std::vector<double> read_axis(std::istream& in) {
+  const auto n = read_pod<std::uint32_t>(in);
+  DCSN_CHECK(n >= 2 && n < (1u << 24), "implausible axis length");
+  std::vector<double> axis(n);
+  in.read(reinterpret_cast<char*>(axis.data()),
+          static_cast<std::streamsize>(axis.size() * sizeof(double)));
+  DCSN_CHECK(in.good(), "unexpected end of field stream");
+  return axis;
+}
+
+template <class T>
+void write_samples(std::ostream& out, std::span<const T> samples) {
+  out.write(reinterpret_cast<const char*>(samples.data()),
+            static_cast<std::streamsize>(samples.size() * sizeof(T)));
+}
+
+template <class T>
+std::vector<T> read_samples(std::istream& in, std::size_t count) {
+  std::vector<T> data(count);
+  in.read(reinterpret_cast<char*>(data.data()),
+          static_cast<std::streamsize>(count * sizeof(T)));
+  DCSN_CHECK(in.good(), "unexpected end of field stream");
+  return data;
+}
+
+}  // namespace
+
+void write_field(std::ostream& out, const RectilinearVectorField& f) {
+  write_pod(out, kMagicRectVec);
+  write_axis(out, f.grid().xs());
+  write_axis(out, f.grid().ys());
+  write_samples<Vec2>(out, f.samples());
+}
+
+RectilinearVectorField read_rectilinear_field(std::istream& in) {
+  DCSN_CHECK(read_pod<std::uint32_t>(in) == kMagicRectVec,
+             "not a rectilinear vector field stream");
+  auto xs = read_axis(in);
+  auto ys = read_axis(in);
+  RectilinearGrid grid(std::move(xs), std::move(ys));
+  auto data = read_samples<Vec2>(in, grid.sample_count());
+  return {std::move(grid), std::move(data)};
+}
+
+void write_field(std::ostream& out, const GridVectorField& f) {
+  write_pod(out, kMagicRegVec);
+  write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(f.grid().nx()));
+  write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(f.grid().ny()));
+  write_pod(out, f.grid().domain());
+  write_samples<Vec2>(out, f.samples());
+}
+
+GridVectorField read_regular_field(std::istream& in) {
+  DCSN_CHECK(read_pod<std::uint32_t>(in) == kMagicRegVec,
+             "not a regular vector field stream");
+  const auto nx = read_pod<std::uint32_t>(in);
+  const auto ny = read_pod<std::uint32_t>(in);
+  const auto domain = read_pod<Rect>(in);
+  RegularGrid grid(static_cast<int>(nx), static_cast<int>(ny), domain);
+  auto data = read_samples<Vec2>(in, grid.sample_count());
+  return {std::move(grid), std::move(data)};
+}
+
+void write_scalar(std::ostream& out, const RectilinearScalarField& f) {
+  write_pod(out, kMagicRectScalar);
+  write_axis(out, f.grid().xs());
+  write_axis(out, f.grid().ys());
+  write_samples<double>(out, f.samples());
+}
+
+RectilinearScalarField read_rectilinear_scalar(std::istream& in) {
+  DCSN_CHECK(read_pod<std::uint32_t>(in) == kMagicRectScalar,
+             "not a rectilinear scalar field stream");
+  auto xs = read_axis(in);
+  auto ys = read_axis(in);
+  RectilinearGrid grid(std::move(xs), std::move(ys));
+  auto data = read_samples<double>(in, grid.sample_count());
+  return {std::move(grid), std::move(data)};
+}
+
+}  // namespace dcsn::field

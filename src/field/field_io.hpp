@@ -1,0 +1,25 @@
+// Binary serialization of grid fields.
+//
+// The DNS application writes solver snapshots to a dataset file and the
+// browser reads them back (the paper's "very large scientific data base").
+// Format: little-endian, a small tagged header, then raw samples.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "field/grid_field.hpp"
+#include "field/scalar_field.hpp"
+
+namespace dcsn::field {
+
+void write_field(std::ostream& out, const RectilinearVectorField& f);
+[[nodiscard]] RectilinearVectorField read_rectilinear_field(std::istream& in);
+
+void write_field(std::ostream& out, const GridVectorField& f);
+[[nodiscard]] GridVectorField read_regular_field(std::istream& in);
+
+void write_scalar(std::ostream& out, const RectilinearScalarField& f);
+[[nodiscard]] RectilinearScalarField read_rectilinear_scalar(std::istream& in);
+
+}  // namespace dcsn::field

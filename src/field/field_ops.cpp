@@ -1,0 +1,91 @@
+#include "field/field_ops.hpp"
+
+#include <cmath>
+
+namespace dcsn::field {
+
+namespace {
+
+// Central differences with one-sided stencils at the borders, for either
+// grid kind. Position spacing comes from the grid geometry so the same code
+// serves regular and rectilinear fields.
+template <class Grid, class FieldT, class Fn>
+auto derived_scalar(const FieldT& f, Fn&& value) {
+  const Grid& g = f.grid();
+  ScalarFieldT<Grid> out(g);
+  for (int j = 0; j < g.ny(); ++j) {
+    for (int i = 0; i < g.nx(); ++i) {
+      const int il = i > 0 ? i - 1 : i;
+      const int ir = i < g.nx() - 1 ? i + 1 : i;
+      const int jl = j > 0 ? j - 1 : j;
+      const int jr = j < g.ny() - 1 ? j + 1 : j;
+      const double dx = g.position(ir, j).x - g.position(il, j).x;
+      const double dy = g.position(i, jr).y - g.position(i, jl).y;
+      const Vec2 ddx = (f.at(ir, j) - f.at(il, j)) / dx;
+      const Vec2 ddy = (f.at(i, jr) - f.at(i, jl)) / dy;
+      out.at(i, j) = value(ddx, ddy, f.at(i, j));
+    }
+  }
+  return out;
+}
+
+template <class Grid, class FieldT>
+FieldStats stats_impl(const FieldT& f) {
+  FieldStats s;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const Vec2& v : f.samples()) {
+    const double m = v.length();
+    sum += m;
+    sum_sq += m * m;
+    if (m > s.max_magnitude) s.max_magnitude = m;
+  }
+  const auto n = static_cast<double>(f.samples().size());
+  if (n > 0) {
+    s.mean_magnitude = sum / n;
+    s.rms_magnitude = std::sqrt(sum_sq / n);
+  }
+  return s;
+}
+
+const auto kCurl = [](Vec2 ddx, Vec2 ddy, Vec2) { return ddx.y - ddy.x; };
+const auto kDiv = [](Vec2 ddx, Vec2 ddy, Vec2) { return ddx.x + ddy.y; };
+const auto kMag = [](Vec2, Vec2, Vec2 v) { return v.length(); };
+
+}  // namespace
+
+ScalarField curl(const GridVectorField& f) {
+  return derived_scalar<RegularGrid>(f, kCurl);
+}
+RectilinearScalarField curl(const RectilinearVectorField& f) {
+  return derived_scalar<RectilinearGrid>(f, kCurl);
+}
+
+ScalarField divergence(const GridVectorField& f) {
+  return derived_scalar<RegularGrid>(f, kDiv);
+}
+RectilinearScalarField divergence(const RectilinearVectorField& f) {
+  return derived_scalar<RectilinearGrid>(f, kDiv);
+}
+
+ScalarField magnitude(const GridVectorField& f) {
+  return derived_scalar<RegularGrid>(f, kMag);
+}
+RectilinearScalarField magnitude(const RectilinearVectorField& f) {
+  return derived_scalar<RectilinearGrid>(f, kMag);
+}
+
+GridVectorField resample(const VectorField& f, const RegularGrid& grid) {
+  GridVectorField out(grid);
+  out.fill([&f](Vec2 p) { return f.sample(p); });
+  return out;
+}
+
+FieldStats statistics(const GridVectorField& f) {
+  return stats_impl<RegularGrid>(f);
+}
+FieldStats statistics(const RectilinearVectorField& f) {
+  return stats_impl<RectilinearGrid>(f);
+}
+
+}  // namespace dcsn::field

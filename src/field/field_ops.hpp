@@ -1,0 +1,39 @@
+// Derived quantities and resampling.
+//
+// The DNS browser maps velocity magnitude / vorticity through colormaps, and
+// grid-to-grid resampling converts solver output (staggered or rectilinear)
+// into whatever grid the synthesizer wants. Central differences everywhere;
+// one-sided at borders.
+#pragma once
+
+#include "field/grid_field.hpp"
+#include "field/scalar_field.hpp"
+
+namespace dcsn::field {
+
+/// z-component of curl (vorticity) sampled on the field's own grid.
+[[nodiscard]] ScalarField curl(const GridVectorField& f);
+[[nodiscard]] RectilinearScalarField curl(const RectilinearVectorField& f);
+
+/// Divergence sampled on the field's own grid.
+[[nodiscard]] ScalarField divergence(const GridVectorField& f);
+[[nodiscard]] RectilinearScalarField divergence(const RectilinearVectorField& f);
+
+/// Velocity magnitude sampled on the field's own grid.
+[[nodiscard]] ScalarField magnitude(const GridVectorField& f);
+[[nodiscard]] RectilinearScalarField magnitude(const RectilinearVectorField& f);
+
+/// Resamples any VectorField onto a regular grid (one bilinear/analytic
+/// evaluation per sample).
+[[nodiscard]] GridVectorField resample(const VectorField& f, const RegularGrid& grid);
+
+/// Mean and root-mean-square magnitude over all samples of a grid field.
+struct FieldStats {
+  double mean_magnitude = 0.0;
+  double rms_magnitude = 0.0;
+  double max_magnitude = 0.0;
+};
+[[nodiscard]] FieldStats statistics(const GridVectorField& f);
+[[nodiscard]] FieldStats statistics(const RectilinearVectorField& f);
+
+}  // namespace dcsn::field

@@ -1,0 +1,91 @@
+#include "field/grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace dcsn::field {
+
+RegularGrid::RegularGrid(int nx, int ny, const Rect& domain)
+    : nx_(nx), ny_(ny), domain_(domain) {
+  DCSN_CHECK(nx >= 2 && ny >= 2, "regular grid needs at least 2x2 samples");
+  DCSN_CHECK(domain.width() > 0.0 && domain.height() > 0.0, "empty grid domain");
+  dx_ = domain.width() / (nx - 1);
+  dy_ = domain.height() / (ny - 1);
+}
+
+CellCoord RegularGrid::locate(Vec2 p) const {
+  const double gx = (p.x - domain_.x0) / dx_;
+  const double gy = (p.y - domain_.y0) / dy_;
+  CellCoord c;
+  c.i = std::clamp(static_cast<int>(std::floor(gx)), 0, nx_ - 2);
+  c.j = std::clamp(static_cast<int>(std::floor(gy)), 0, ny_ - 2);
+  c.fx = std::clamp(gx - c.i, 0.0, 1.0);
+  c.fy = std::clamp(gy - c.j, 0.0, 1.0);
+  return c;
+}
+
+RectilinearGrid::RectilinearGrid(std::vector<double> xs, std::vector<double> ys)
+    : xs_(std::move(xs)), ys_(std::move(ys)) {
+  DCSN_CHECK(xs_.size() >= 2 && ys_.size() >= 2,
+             "rectilinear grid needs at least 2x2 samples");
+  DCSN_CHECK(std::is_sorted(xs_.begin(), xs_.end()) &&
+                 std::adjacent_find(xs_.begin(), xs_.end()) == xs_.end(),
+             "x coordinates must be strictly increasing");
+  DCSN_CHECK(std::is_sorted(ys_.begin(), ys_.end()) &&
+                 std::adjacent_find(ys_.begin(), ys_.end()) == ys_.end(),
+             "y coordinates must be strictly increasing");
+  domain_ = Rect{xs_.front(), ys_.front(), xs_.back(), ys_.back()};
+}
+
+namespace {
+/// Index of the interval [axis[k], axis[k+1]] containing v, clamped.
+int locate_axis(const std::vector<double>& axis, double v) {
+  const auto it = std::upper_bound(axis.begin(), axis.end(), v);
+  const auto idx = static_cast<int>(it - axis.begin()) - 1;
+  return std::clamp(idx, 0, static_cast<int>(axis.size()) - 2);
+}
+}  // namespace
+
+CellCoord RectilinearGrid::locate(Vec2 p) const {
+  CellCoord c;
+  c.i = locate_axis(xs_, p.x);
+  c.j = locate_axis(ys_, p.y);
+  const double x0 = xs_[static_cast<std::size_t>(c.i)];
+  const double x1 = xs_[static_cast<std::size_t>(c.i) + 1];
+  const double y0 = ys_[static_cast<std::size_t>(c.j)];
+  const double y1 = ys_[static_cast<std::size_t>(c.j) + 1];
+  c.fx = std::clamp((p.x - x0) / (x1 - x0), 0.0, 1.0);
+  c.fy = std::clamp((p.y - y0) / (y1 - y0), 0.0, 1.0);
+  return c;
+}
+
+std::vector<double> RectilinearGrid::stretched_axis(int n, double lo, double hi,
+                                                    double focus, double ratio) {
+  DCSN_CHECK(n >= 2, "axis needs at least 2 samples");
+  DCSN_CHECK(hi > lo, "axis range must be positive");
+  DCSN_CHECK(ratio > 0.0, "stretch ratio must be positive");
+  // Build relative spacings growing geometrically with distance from focus,
+  // then normalize to the requested range.
+  std::vector<double> spacing(static_cast<std::size_t>(n) - 1);
+  const double focus_pos = focus * (n - 1);
+  for (int k = 0; k < n - 1; ++k) {
+    const double mid = k + 0.5;
+    const double dist = std::abs(mid - focus_pos) / (n - 1);
+    spacing[static_cast<std::size_t>(k)] = std::pow(ratio, dist);
+  }
+  double total = 0.0;
+  for (const double s : spacing) total += s;
+  std::vector<double> axis(static_cast<std::size_t>(n));
+  axis[0] = lo;
+  double acc = 0.0;
+  for (int k = 0; k < n - 1; ++k) {
+    acc += spacing[static_cast<std::size_t>(k)];
+    axis[static_cast<std::size_t>(k) + 1] = lo + (hi - lo) * (acc / total);
+  }
+  axis.back() = hi;  // guard against rounding drift
+  return axis;
+}
+
+}  // namespace dcsn::field

@@ -1,0 +1,100 @@
+// Grid descriptors: where samples live in world space.
+//
+// The paper's two applications use the two grid kinds implemented here: the
+// atmospheric model is a regular 53x55 grid, the DNS slice is rectilinear
+// 278x208 (stretched toward the block). Descriptors are separated from data
+// so vector fields, scalar fields and solvers share the same geometry code.
+#pragma once
+
+#include <vector>
+
+#include "field/vec2.hpp"
+
+namespace dcsn::field {
+
+/// Cell location plus interpolation weights for a bilinear stencil.
+struct CellCoord {
+  int i = 0;       ///< column of the lower-left sample
+  int j = 0;       ///< row of the lower-left sample
+  double fx = 0.0; ///< fractional position within the cell, in [0,1]
+  double fy = 0.0;
+};
+
+/// Uniformly spaced samples: sample (i, j) sits at origin + (i*dx, j*dy).
+class RegularGrid {
+ public:
+  RegularGrid() = default;
+
+  /// Builds a grid of nx-by-ny *samples* covering `domain` (inclusive edges).
+  /// nx, ny >= 2.
+  RegularGrid(int nx, int ny, const Rect& domain);
+
+  [[nodiscard]] int nx() const { return nx_; }
+  [[nodiscard]] int ny() const { return ny_; }
+  [[nodiscard]] const Rect& domain() const { return domain_; }
+  [[nodiscard]] double dx() const { return dx_; }
+  [[nodiscard]] double dy() const { return dy_; }
+  [[nodiscard]] std::size_t sample_count() const {
+    return static_cast<std::size_t>(nx_) * static_cast<std::size_t>(ny_);
+  }
+
+  /// World position of sample (i, j).
+  [[nodiscard]] Vec2 position(int i, int j) const {
+    return {domain_.x0 + i * dx_, domain_.y0 + j * dy_};
+  }
+
+  /// Locates `p` for bilinear interpolation, clamping to the grid border.
+  [[nodiscard]] CellCoord locate(Vec2 p) const;
+
+  [[nodiscard]] std::size_t linear_index(int i, int j) const {
+    return static_cast<std::size_t>(j) * static_cast<std::size_t>(nx_) +
+           static_cast<std::size_t>(i);
+  }
+
+  bool operator==(const RegularGrid&) const = default;
+
+ private:
+  int nx_ = 0;
+  int ny_ = 0;
+  Rect domain_{};
+  double dx_ = 0.0;
+  double dy_ = 0.0;
+};
+
+/// Tensor-product grid with per-axis coordinate arrays (strictly increasing).
+/// Lookup is O(log n) via binary search with a per-call monotonic hint.
+class RectilinearGrid {
+ public:
+  RectilinearGrid() = default;
+  RectilinearGrid(std::vector<double> xs, std::vector<double> ys);
+
+  [[nodiscard]] int nx() const { return static_cast<int>(xs_.size()); }
+  [[nodiscard]] int ny() const { return static_cast<int>(ys_.size()); }
+  [[nodiscard]] const std::vector<double>& xs() const { return xs_; }
+  [[nodiscard]] const std::vector<double>& ys() const { return ys_; }
+  [[nodiscard]] const Rect& domain() const { return domain_; }
+  [[nodiscard]] std::size_t sample_count() const { return xs_.size() * ys_.size(); }
+
+  [[nodiscard]] Vec2 position(int i, int j) const {
+    return {xs_[static_cast<std::size_t>(i)], ys_[static_cast<std::size_t>(j)]};
+  }
+
+  [[nodiscard]] CellCoord locate(Vec2 p) const;
+
+  [[nodiscard]] std::size_t linear_index(int i, int j) const {
+    return static_cast<std::size_t>(j) * xs_.size() + static_cast<std::size_t>(i);
+  }
+
+  /// Geometrically stretched coordinates: spacing grows by `ratio` per cell
+  /// away from `focus` (in [0,1] of the axis). Used to build DNS-style grids
+  /// that refine near the obstacle.
+  static std::vector<double> stretched_axis(int n, double lo, double hi,
+                                            double focus, double ratio);
+
+ private:
+  std::vector<double> xs_;
+  std::vector<double> ys_;
+  Rect domain_{};
+};
+
+}  // namespace dcsn::field

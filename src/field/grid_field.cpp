@@ -1,0 +1,31 @@
+#include "field/grid_field.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace dcsn::field {
+
+template <class Grid>
+GridVectorFieldT<Grid>::GridVectorFieldT(Grid grid, std::vector<Vec2> data)
+    : grid_(std::move(grid)), data_(std::move(data)) {
+  DCSN_CHECK(data_.size() == grid_.sample_count(),
+             "sample count must match grid size");
+}
+
+template <class Grid>
+double GridVectorFieldT<Grid>::max_magnitude() const {
+  if (!max_valid_) {
+    double best = 0.0;
+    for (const Vec2& v : data_) best = std::max(best, v.length_sq());
+    max_mag_ = std::sqrt(best);
+    max_valid_ = true;
+  }
+  return max_mag_;
+}
+
+template class GridVectorFieldT<RegularGrid>;
+template class GridVectorFieldT<RectilinearGrid>;
+
+}  // namespace dcsn::field

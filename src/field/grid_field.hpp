@@ -1,0 +1,77 @@
+// Grid-sampled vector fields with bilinear interpolation.
+//
+// These are the data-set-backed fields of the two applications: the smog
+// model's wind on a RegularGrid and the DNS slice on a RectilinearGrid.
+// Sample storage is a flat row-major vector of Vec2; data can be overwritten
+// in place each frame (pipeline step 1) without reallocating.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "field/grid.hpp"
+#include "field/vector_field.hpp"
+
+namespace dcsn::field {
+
+/// Bilinear interpolation weights applied to a 2x2 sample stencil.
+template <class Grid>
+class GridVectorFieldT final : public VectorField {
+ public:
+  GridVectorFieldT() = default;
+
+  /// Zero-initialized field on `grid`.
+  explicit GridVectorFieldT(Grid grid)
+      : grid_(std::move(grid)), data_(grid_.sample_count()) {}
+
+  GridVectorFieldT(Grid grid, std::vector<Vec2> data);
+
+  [[nodiscard]] Vec2 sample(Vec2 p) const override {
+    const CellCoord c = grid_.locate(p);
+    const Vec2 v00 = at(c.i, c.j);
+    const Vec2 v10 = at(c.i + 1, c.j);
+    const Vec2 v01 = at(c.i, c.j + 1);
+    const Vec2 v11 = at(c.i + 1, c.j + 1);
+    const Vec2 bottom = lerp(v00, v10, c.fx);
+    const Vec2 top = lerp(v01, v11, c.fx);
+    return lerp(bottom, top, c.fy);
+  }
+
+  [[nodiscard]] Rect domain() const override { return grid_.domain(); }
+
+  [[nodiscard]] double max_magnitude() const override;
+
+  [[nodiscard]] const Grid& grid() const { return grid_; }
+
+  [[nodiscard]] Vec2& at(int i, int j) { return data_[grid_.linear_index(i, j)]; }
+  [[nodiscard]] const Vec2& at(int i, int j) const { return data_[grid_.linear_index(i, j)]; }
+
+  /// Raw sample storage, row-major; size == grid().sample_count().
+  [[nodiscard]] std::span<Vec2> samples() { return data_; }
+  [[nodiscard]] std::span<const Vec2> samples() const { return data_; }
+
+  /// Fills every sample from a callable Vec2(Vec2 world_pos).
+  template <class F>
+  void fill(F&& f) {
+    for (int j = 0; j < grid_.ny(); ++j)
+      for (int i = 0; i < grid_.nx(); ++i) at(i, j) = f(grid_.position(i, j));
+    invalidate_max();
+  }
+
+  /// Call after writing samples() directly so max_magnitude() recomputes.
+  void invalidate_max() { max_valid_ = false; }
+
+ private:
+  Grid grid_{};
+  std::vector<Vec2> data_;
+  mutable double max_mag_ = 0.0;
+  mutable bool max_valid_ = false;
+};
+
+using GridVectorField = GridVectorFieldT<RegularGrid>;
+using RectilinearVectorField = GridVectorFieldT<RectilinearGrid>;
+
+extern template class GridVectorFieldT<RegularGrid>;
+extern template class GridVectorFieldT<RectilinearGrid>;
+
+}  // namespace dcsn::field

@@ -1,0 +1,26 @@
+#include "field/scalar_field.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace dcsn::field {
+
+template <class Grid>
+ScalarFieldT<Grid>::ScalarFieldT(Grid grid, std::vector<double> data)
+    : grid_(std::move(grid)), data_(std::move(data)) {
+  DCSN_CHECK(data_.size() == grid_.sample_count(),
+             "sample count must match grid size");
+}
+
+template <class Grid>
+std::pair<double, double> ScalarFieldT<Grid>::min_max() const {
+  if (data_.empty()) return {0.0, 0.0};
+  const auto [lo, hi] = std::minmax_element(data_.begin(), data_.end());
+  return {*lo, *hi};
+}
+
+template class ScalarFieldT<RegularGrid>;
+template class ScalarFieldT<RectilinearGrid>;
+
+}  // namespace dcsn::field

@@ -1,0 +1,65 @@
+// Scalar fields on grids: pollutant concentrations, pressure, derived
+// quantities (curl, divergence, speed). The figure-6 overlay samples a
+// ScalarField through a colormap on top of the spot-noise texture.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "field/grid.hpp"
+
+namespace dcsn::field {
+
+template <class Grid>
+class ScalarFieldT {
+ public:
+  ScalarFieldT() = default;
+
+  explicit ScalarFieldT(Grid grid)
+      : grid_(std::move(grid)), data_(grid_.sample_count(), 0.0) {}
+
+  ScalarFieldT(Grid grid, std::vector<double> data);
+
+  [[nodiscard]] double sample(Vec2 p) const {
+    const CellCoord c = grid_.locate(p);
+    const double v00 = at(c.i, c.j);
+    const double v10 = at(c.i + 1, c.j);
+    const double v01 = at(c.i, c.j + 1);
+    const double v11 = at(c.i + 1, c.j + 1);
+    const double bottom = v00 + (v10 - v00) * c.fx;
+    const double top = v01 + (v11 - v01) * c.fx;
+    return bottom + (top - bottom) * c.fy;
+  }
+
+  [[nodiscard]] const Grid& grid() const { return grid_; }
+  [[nodiscard]] Rect domain() const { return grid_.domain(); }
+
+  [[nodiscard]] double& at(int i, int j) { return data_[grid_.linear_index(i, j)]; }
+  [[nodiscard]] const double& at(int i, int j) const {
+    return data_[grid_.linear_index(i, j)];
+  }
+
+  [[nodiscard]] std::span<double> samples() { return data_; }
+  [[nodiscard]] std::span<const double> samples() const { return data_; }
+
+  template <class F>
+  void fill(F&& f) {
+    for (int j = 0; j < grid_.ny(); ++j)
+      for (int i = 0; i < grid_.nx(); ++i) at(i, j) = f(grid_.position(i, j));
+  }
+
+  /// Minimum and maximum over all samples; {0,0} for an empty field.
+  [[nodiscard]] std::pair<double, double> min_max() const;
+
+ private:
+  Grid grid_{};
+  std::vector<double> data_;
+};
+
+using ScalarField = ScalarFieldT<RegularGrid>;
+using RectilinearScalarField = ScalarFieldT<RectilinearGrid>;
+
+extern template class ScalarFieldT<RegularGrid>;
+extern template class ScalarFieldT<RectilinearGrid>;
+
+}  // namespace dcsn::field

@@ -1,0 +1,93 @@
+// 2D vector and rectangle primitives shared by all field math.
+//
+// Field evaluation and particle integration run in double precision: bent
+// spots integrate streamlines through strongly varying fields, and single
+// precision visibly distorts long streamlines near critical points.
+#pragma once
+
+#include <cmath>
+
+namespace dcsn::field {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2() = default;
+  constexpr Vec2(double x_, double y_) : x(x_), y(y_) {}
+
+  constexpr Vec2 operator+(Vec2 o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(Vec2 o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const { return {x / s, y / s}; }
+  constexpr Vec2 operator-() const { return {-x, -y}; }
+
+  constexpr Vec2& operator+=(Vec2 o) {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+  constexpr Vec2& operator-=(Vec2 o) {
+    x -= o.x;
+    y -= o.y;
+    return *this;
+  }
+  constexpr Vec2& operator*=(double s) {
+    x *= s;
+    y *= s;
+    return *this;
+  }
+
+  constexpr bool operator==(const Vec2&) const = default;
+
+  [[nodiscard]] constexpr double dot(Vec2 o) const { return x * o.x + y * o.y; }
+  /// z-component of the 3D cross product; >0 when `o` is counterclockwise of *this.
+  [[nodiscard]] constexpr double cross(Vec2 o) const { return x * o.y - y * o.x; }
+  [[nodiscard]] constexpr double length_sq() const { return x * x + y * y; }
+  [[nodiscard]] double length() const { return std::sqrt(length_sq()); }
+  /// Counterclockwise perpendicular.
+  [[nodiscard]] constexpr Vec2 perp() const { return {-y, x}; }
+
+  /// Unit vector; returns (0,0) for the zero vector rather than NaN, which
+  /// is the safe convention for flow fields with stagnation points.
+  [[nodiscard]] Vec2 normalized() const {
+    const double len = length();
+    return len > 0.0 ? Vec2{x / len, y / len} : Vec2{};
+  }
+};
+
+constexpr Vec2 operator*(double s, Vec2 v) { return v * s; }
+
+constexpr Vec2 lerp(Vec2 a, Vec2 b, double t) { return a + (b - a) * t; }
+
+/// Axis-aligned rectangle [x0,x1] x [y0,y1]; the domain of a field.
+struct Rect {
+  double x0 = 0.0;
+  double y0 = 0.0;
+  double x1 = 1.0;
+  double y1 = 1.0;
+
+  [[nodiscard]] constexpr double width() const { return x1 - x0; }
+  [[nodiscard]] constexpr double height() const { return y1 - y0; }
+  [[nodiscard]] constexpr Vec2 min() const { return {x0, y0}; }
+  [[nodiscard]] constexpr Vec2 max() const { return {x1, y1}; }
+  [[nodiscard]] constexpr Vec2 center() const { return {(x0 + x1) * 0.5, (y0 + y1) * 0.5}; }
+
+  [[nodiscard]] constexpr bool contains(Vec2 p) const {
+    return p.x >= x0 && p.x <= x1 && p.y >= y0 && p.y <= y1;
+  }
+
+  /// Clamps a point into the rectangle.
+  [[nodiscard]] constexpr Vec2 clamp(Vec2 p) const {
+    return {p.x < x0 ? x0 : (p.x > x1 ? x1 : p.x), p.y < y0 ? y0 : (p.y > y1 ? y1 : p.y)};
+  }
+
+  /// Maps normalized [0,1]^2 coordinates into the rectangle.
+  [[nodiscard]] constexpr Vec2 at(double u, double v) const {
+    return {x0 + u * width(), y0 + v * height()};
+  }
+
+  constexpr bool operator==(const Rect&) const = default;
+};
+
+}  // namespace dcsn::field

@@ -1,0 +1,31 @@
+// The vector-field abstraction every consumer (advection, spot warping,
+// streamline tracing) programs against.
+//
+// Step 1 of the spot-noise pipeline "read a data set of a vector field" may
+// run 5-15 times per second; per frame the field is treated as steady, so
+// the interface is a steady sample(). Unsteady phenomena are handled by the
+// application replacing/overwriting grid data between frames, exactly as the
+// paper's steering and browsing applications do.
+#pragma once
+
+#include "field/vec2.hpp"
+
+namespace dcsn::field {
+
+class VectorField {
+ public:
+  virtual ~VectorField() = default;
+
+  /// Velocity at world position `p`. Positions outside the domain must
+  /// return a finite value (implementations clamp to the border).
+  [[nodiscard]] virtual Vec2 sample(Vec2 p) const = 0;
+
+  /// World-space extent of valid data.
+  [[nodiscard]] virtual Rect domain() const = 0;
+
+  /// Largest velocity magnitude over the domain (approximate is fine); used
+  /// to scale spot deformation and pick advection time steps.
+  [[nodiscard]] virtual double max_magnitude() const = 0;
+};
+
+}  // namespace dcsn::field

@@ -1,0 +1,100 @@
+#include "field/volume.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace dcsn::field {
+
+VolumeField::VolumeField(int nx, int ny, int nz, const Box& domain)
+    : nx_(nx), ny_(ny), nz_(nz), domain_(domain) {
+  DCSN_CHECK(nx >= 2 && ny >= 2 && nz >= 2, "volume needs at least 2 samples per axis");
+  DCSN_CHECK(domain.width() > 0 && domain.height() > 0 && domain.depth() > 0,
+             "volume domain must be non-empty");
+  dx_ = domain.width() / (nx - 1);
+  dy_ = domain.height() / (ny - 1);
+  dz_ = domain.depth() / (nz - 1);
+  data_.resize(static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny) *
+               static_cast<std::size_t>(nz));
+}
+
+Vec3 VolumeField::sample(Vec3 p) const {
+  const double gx = (p.x - domain_.x0) / dx_;
+  const double gy = (p.y - domain_.y0) / dy_;
+  const double gz = (p.z - domain_.z0) / dz_;
+  const int i = std::clamp(static_cast<int>(std::floor(gx)), 0, nx_ - 2);
+  const int j = std::clamp(static_cast<int>(std::floor(gy)), 0, ny_ - 2);
+  const int k = std::clamp(static_cast<int>(std::floor(gz)), 0, nz_ - 2);
+  const double fx = std::clamp(gx - i, 0.0, 1.0);
+  const double fy = std::clamp(gy - j, 0.0, 1.0);
+  const double fz = std::clamp(gz - k, 0.0, 1.0);
+
+  auto blend2 = [](Vec3 a, Vec3 b, double t) { return a + (b - a) * t; };
+  const Vec3 c00 = blend2(at(i, j, k), at(i + 1, j, k), fx);
+  const Vec3 c10 = blend2(at(i, j + 1, k), at(i + 1, j + 1, k), fx);
+  const Vec3 c01 = blend2(at(i, j, k + 1), at(i + 1, j, k + 1), fx);
+  const Vec3 c11 = blend2(at(i, j + 1, k + 1), at(i + 1, j + 1, k + 1), fx);
+  return blend2(blend2(c00, c10, fy), blend2(c01, c11, fy), fz);
+}
+
+void VolumeField::fill(const std::function<Vec3(Vec3)>& f) {
+  for (int k = 0; k < nz_; ++k)
+    for (int j = 0; j < ny_; ++j)
+      for (int i = 0; i < nx_; ++i) at(i, j, k) = f(position(i, j, k));
+}
+
+GridVectorField extract_slice(const VolumeField& volume, SliceAxis axis,
+                              double coord, int nx, int ny) {
+  const Box& b = volume.domain();
+  Rect plane;
+  switch (axis) {
+    case SliceAxis::kZ:
+      DCSN_CHECK(coord >= b.z0 && coord <= b.z1, "slice plane outside the volume");
+      plane = {b.x0, b.y0, b.x1, b.y1};
+      break;
+    case SliceAxis::kY:
+      DCSN_CHECK(coord >= b.y0 && coord <= b.y1, "slice plane outside the volume");
+      plane = {b.x0, b.z0, b.x1, b.z1};
+      break;
+    case SliceAxis::kX:
+      DCSN_CHECK(coord >= b.x0 && coord <= b.x1, "slice plane outside the volume");
+      plane = {b.y0, b.z0, b.y1, b.z1};
+      break;
+  }
+  GridVectorField out(RegularGrid(nx, ny, plane));
+  out.fill([&](Vec2 p) {
+    Vec3 world;
+    switch (axis) {
+      case SliceAxis::kZ: world = {p.x, p.y, coord}; break;
+      case SliceAxis::kY: world = {p.x, coord, p.y}; break;
+      case SliceAxis::kX: world = {coord, p.x, p.y}; break;
+    }
+    const Vec3 v = volume.sample(world);
+    switch (axis) {
+      case SliceAxis::kZ: return Vec2{v.x, v.y};
+      case SliceAxis::kY: return Vec2{v.x, v.z};
+      case SliceAxis::kX: return Vec2{v.y, v.z};
+    }
+    return Vec2{};
+  });
+  return out;
+}
+
+namespace analytic3d {
+
+VolumeField abc_flow(double a, double b, double c, int resolution) {
+  const double two_pi = 2.0 * std::numbers::pi;
+  VolumeField volume(resolution, resolution, resolution,
+                     Box{0, 0, 0, two_pi, two_pi, two_pi});
+  volume.fill([a, b, c](Vec3 p) {
+    return Vec3{a * std::sin(p.z) + c * std::cos(p.y),
+                b * std::sin(p.x) + a * std::cos(p.z),
+                c * std::sin(p.y) + b * std::cos(p.x)};
+  });
+  return volume;
+}
+
+}  // namespace analytic3d
+}  // namespace dcsn::field

@@ -1,0 +1,109 @@
+// 3D volume fields and slice extraction.
+//
+// Both of the paper's applications visualize "a slice from the three
+// dimensional data set" (§5.1, §5.2): the atmospheric model and the DNS are
+// 3D, spot noise is 2D. This module supplies the 3D side of that pipeline —
+// a trilinear volume container plus the slicer that turns an axis-aligned
+// plane of it into the 2D GridVectorField every synthesizer consumes,
+// keeping the two in-plane velocity components.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "field/grid_field.hpp"
+#include "field/vec2.hpp"
+
+namespace dcsn::field {
+
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3 operator+(Vec3 o) const { return {x + o.x, y + o.y, z + o.z}; }
+  constexpr Vec3 operator-(Vec3 o) const { return {x - o.x, y - o.y, z - o.z}; }
+  constexpr Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  constexpr bool operator==(const Vec3&) const = default;
+
+  [[nodiscard]] double length() const { return std::sqrt(x * x + y * y + z * z); }
+};
+
+/// Axis-aligned box, the domain of a volume.
+struct Box {
+  double x0 = 0.0, y0 = 0.0, z0 = 0.0;
+  double x1 = 1.0, y1 = 1.0, z1 = 1.0;
+
+  [[nodiscard]] constexpr double width() const { return x1 - x0; }
+  [[nodiscard]] constexpr double height() const { return y1 - y0; }
+  [[nodiscard]] constexpr double depth() const { return z1 - z0; }
+  [[nodiscard]] constexpr bool contains(Vec3 p) const {
+    return p.x >= x0 && p.x <= x1 && p.y >= y0 && p.y <= y1 && p.z >= z0 &&
+           p.z <= z1;
+  }
+};
+
+/// Regularly sampled 3D vector field with trilinear interpolation.
+class VolumeField {
+ public:
+  VolumeField() = default;
+
+  /// nx, ny, nz >= 2 samples spanning `domain` (inclusive edges).
+  VolumeField(int nx, int ny, int nz, const Box& domain);
+
+  [[nodiscard]] int nx() const { return nx_; }
+  [[nodiscard]] int ny() const { return ny_; }
+  [[nodiscard]] int nz() const { return nz_; }
+  [[nodiscard]] const Box& domain() const { return domain_; }
+  [[nodiscard]] std::size_t sample_count() const { return data_.size(); }
+
+  [[nodiscard]] Vec3 position(int i, int j, int k) const {
+    return {domain_.x0 + i * dx_, domain_.y0 + j * dy_, domain_.z0 + k * dz_};
+  }
+
+  [[nodiscard]] Vec3& at(int i, int j, int k) { return data_[index(i, j, k)]; }
+  [[nodiscard]] const Vec3& at(int i, int j, int k) const {
+    return data_[index(i, j, k)];
+  }
+
+  /// Trilinear sample, border-clamped.
+  [[nodiscard]] Vec3 sample(Vec3 p) const;
+
+  /// Fills every sample from a callable Vec3(Vec3 world_pos).
+  void fill(const std::function<Vec3(Vec3)>& f);
+
+ private:
+  [[nodiscard]] std::size_t index(int i, int j, int k) const {
+    return (static_cast<std::size_t>(k) * static_cast<std::size_t>(ny_) +
+            static_cast<std::size_t>(j)) *
+               static_cast<std::size_t>(nx_) +
+           static_cast<std::size_t>(i);
+  }
+
+  int nx_ = 0, ny_ = 0, nz_ = 0;
+  Box domain_{};
+  double dx_ = 0.0, dy_ = 0.0, dz_ = 0.0;
+  std::vector<Vec3> data_;
+};
+
+enum class SliceAxis { kX, kY, kZ };
+
+/// Extracts the axis-aligned plane `axis = coord` as a 2D vector field of
+/// the two in-plane components, sampled on an nx-by-ny regular grid. Plane
+/// coordinates follow the right-handed convention:
+///   kZ slice -> (x, y) plane carrying (u, v)
+///   kY slice -> (x, z) plane carrying (u, w)
+///   kX slice -> (y, z) plane carrying (v, w)
+[[nodiscard]] GridVectorField extract_slice(const VolumeField& volume,
+                                            SliceAxis axis, double coord, int nx,
+                                            int ny);
+
+namespace analytic3d {
+
+/// Arnold–Beltrami–Childress flow on [0, 2pi]^3 — the standard analytic 3D
+/// test field (steady, divergence-free, chaotic streamlines):
+///   u = A sin z + C cos y,  v = B sin x + A cos z,  w = C sin y + B cos x.
+[[nodiscard]] VolumeField abc_flow(double a, double b, double c, int resolution);
+
+}  // namespace analytic3d
+}  // namespace dcsn::field

@@ -1,0 +1,57 @@
+#include "io/ppm.hpp"
+
+#include <fstream>
+
+#include "util/error.hpp"
+
+namespace dcsn::io {
+
+void write_ppm(const std::string& path, const render::Image& image) {
+  std::ofstream out(path, std::ios::binary);
+  DCSN_CHECK(out.good(), "cannot open PPM output: " + path);
+  out << "P6\n" << image.width() << ' ' << image.height() << "\n255\n";
+  for (int y = 0; y < image.height(); ++y) {
+    for (int x = 0; x < image.width(); ++x) {
+      const render::Rgb& p = image.at(x, y);
+      out.put(static_cast<char>(p.r));
+      out.put(static_cast<char>(p.g));
+      out.put(static_cast<char>(p.b));
+    }
+  }
+  DCSN_CHECK(out.good(), "short write to PPM output: " + path);
+}
+
+void write_pgm(const std::string& path, const render::Framebuffer& texture) {
+  const render::Image img = render::texture_to_image(texture);
+  std::ofstream out(path, std::ios::binary);
+  DCSN_CHECK(out.good(), "cannot open PGM output: " + path);
+  out << "P5\n" << img.width() << ' ' << img.height() << "\n255\n";
+  for (int y = 0; y < img.height(); ++y)
+    for (int x = 0; x < img.width(); ++x) out.put(static_cast<char>(img.at(x, y).r));
+  DCSN_CHECK(out.good(), "short write to PGM output: " + path);
+}
+
+render::Image read_ppm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  DCSN_CHECK(in.good(), "cannot open PPM input: " + path);
+  std::string magic;
+  int w = 0, h = 0, maxval = 0;
+  in >> magic >> w >> h >> maxval;
+  DCSN_CHECK(magic == "P6", "not a P6 PPM: " + path);
+  DCSN_CHECK(w > 0 && h > 0 && maxval == 255, "unsupported PPM header: " + path);
+  in.get();  // the single whitespace after the header
+  render::Image img(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      char rgb[3];
+      in.read(rgb, 3);
+      img.at(x, y) = {static_cast<std::uint8_t>(rgb[0]),
+                      static_cast<std::uint8_t>(rgb[1]),
+                      static_cast<std::uint8_t>(rgb[2])};
+    }
+  }
+  DCSN_CHECK(in.good(), "truncated PPM input: " + path);
+  return img;
+}
+
+}  // namespace dcsn::io

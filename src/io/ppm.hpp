@@ -1,0 +1,21 @@
+// PPM/PGM image output — the portable, dependency-free way to write the
+// regenerated paper figures to disk.
+#pragma once
+
+#include <string>
+
+#include "render/framebuffer.hpp"
+#include "render/image.hpp"
+
+namespace dcsn::io {
+
+/// Binary PPM (P6).
+void write_ppm(const std::string& path, const render::Image& image);
+
+/// Binary PGM (P5) of a float texture through the default tone map.
+void write_pgm(const std::string& path, const render::Framebuffer& texture);
+
+/// Reads back a P6 file (for round-trip tests).
+[[nodiscard]] render::Image read_ppm(const std::string& path);
+
+}  // namespace dcsn::io

@@ -1,0 +1,70 @@
+#include "particles/seeding.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace dcsn::particles {
+
+std::vector<field::Vec2> seed_uniform(field::Rect domain, std::int64_t count,
+                                      util::Rng& rng) {
+  DCSN_CHECK(count >= 0, "seed count must be non-negative");
+  std::vector<field::Vec2> pts;
+  pts.reserve(static_cast<std::size_t>(count));
+  for (std::int64_t k = 0; k < count; ++k) {
+    pts.push_back({rng.uniform(domain.x0, domain.x1), rng.uniform(domain.y0, domain.y1)});
+  }
+  return pts;
+}
+
+std::vector<field::Vec2> seed_jittered_grid(field::Rect domain, std::int64_t count,
+                                            util::Rng& rng) {
+  DCSN_CHECK(count >= 0, "seed count must be non-negative");
+  if (count == 0) return {};
+  // Pick a grid whose aspect matches the domain and whose cell count is >= count.
+  const double aspect = domain.width() / domain.height();
+  auto cols = static_cast<std::int64_t>(
+      std::ceil(std::sqrt(static_cast<double>(count) * aspect)));
+  cols = std::max<std::int64_t>(cols, 1);
+  const std::int64_t rows = (count + cols - 1) / cols;
+  const double cw = domain.width() / static_cast<double>(cols);
+  const double ch = domain.height() / static_cast<double>(rows);
+
+  std::vector<field::Vec2> pts;
+  pts.reserve(static_cast<std::size_t>(count));
+  for (std::int64_t r = 0; r < rows && std::ssize(pts) < count; ++r) {
+    for (std::int64_t c = 0; c < cols && std::ssize(pts) < count; ++c) {
+      pts.push_back({domain.x0 + (static_cast<double>(c) + rng.uniform()) * cw,
+                     domain.y0 + (static_cast<double>(r) + rng.uniform()) * ch});
+    }
+  }
+  return pts;
+}
+
+namespace {
+double radical_inverse(std::int64_t index, int base) {
+  double result = 0.0;
+  double f = 1.0 / base;
+  while (index > 0) {
+    result += f * static_cast<double>(index % base);
+    index /= base;
+    f /= base;
+  }
+  return result;
+}
+}  // namespace
+
+std::vector<field::Vec2> seed_halton(field::Rect domain, std::int64_t count,
+                                     std::int64_t offset) {
+  DCSN_CHECK(count >= 0, "seed count must be non-negative");
+  DCSN_CHECK(offset >= 0, "offset must be non-negative");
+  std::vector<field::Vec2> pts;
+  pts.reserve(static_cast<std::size_t>(count));
+  for (std::int64_t k = 0; k < count; ++k) {
+    const std::int64_t idx = offset + k + 1;  // Halton index 0 is degenerate
+    pts.push_back(domain.at(radical_inverse(idx, 2), radical_inverse(idx, 3)));
+  }
+  return pts;
+}
+
+}  // namespace dcsn::particles

@@ -1,0 +1,28 @@
+#include "render/bus.hpp"
+
+#include <thread>
+
+namespace dcsn::render {
+
+Bus::Bus(double bytes_per_second)
+    : bytes_per_second_(bytes_per_second), channel_free_(Clock::now()) {}
+
+Bus::Clock::time_point Bus::schedule(std::size_t bytes) {
+  bytes_moved_.fetch_add(bytes, std::memory_order_relaxed);
+  const auto now = Clock::now();
+  if (!throttled()) return now;
+  const auto duration = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(static_cast<double>(bytes) / bytes_per_second_));
+  std::lock_guard lock(mutex_);
+  const auto start = channel_free_ > now ? channel_free_ : now;
+  channel_free_ = start + duration;
+  return channel_free_;
+}
+
+void Bus::transfer(std::size_t bytes) {
+  const auto done = schedule(bytes);
+  if (!throttled()) return;
+  std::this_thread::sleep_until(done);
+}
+
+}  // namespace dcsn::render

@@ -1,0 +1,53 @@
+// Shared host <-> graphics bus model.
+//
+// The paper's machine model (fig. 4) has one bus connecting all processors
+// to the graphics subsystem (800 MB/s on the Onyx2). The bus matters for
+// two of the paper's observations: vertex traffic must fit (it does, by a
+// wide margin) and gathered partial textures cross the bus sequentially
+// (part of the overhead term c in eq. 3.2).
+//
+// Model: a serialized channel with a fixed bandwidth. schedule() reserves a
+// slot for a transfer and returns its completion time without blocking the
+// caller — downstream consumers (the pipe) wait for the data to "arrive",
+// which reproduces DMA-style overlap of computation and transfer. transfer()
+// is the synchronous variant used for readback (glReadPixels semantics).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+
+namespace dcsn::render {
+
+class Bus {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// bytes_per_second == 0 disables throttling (infinite bandwidth).
+  explicit Bus(double bytes_per_second = 0.0);
+
+  /// Reserves bus time for `bytes` and returns when the transfer completes.
+  /// Never blocks; multiple pipes' transfers serialize on the shared channel.
+  [[nodiscard]] Clock::time_point schedule(std::size_t bytes);
+
+  /// Synchronous transfer: blocks the caller until the bytes have moved.
+  void transfer(std::size_t bytes);
+
+  [[nodiscard]] double bytes_per_second() const { return bytes_per_second_; }
+  [[nodiscard]] bool throttled() const { return bytes_per_second_ > 0.0; }
+
+  /// Total bytes moved since construction or the last reset_stats().
+  [[nodiscard]] std::uint64_t bytes_moved() const {
+    return bytes_moved_.load(std::memory_order_relaxed);
+  }
+  void reset_stats() { bytes_moved_.store(0, std::memory_order_relaxed); }
+
+ private:
+  double bytes_per_second_;
+  std::mutex mutex_;
+  Clock::time_point channel_free_;  ///< when the last scheduled transfer ends
+  std::atomic<std::uint64_t> bytes_moved_{0};
+};
+
+}  // namespace dcsn::render

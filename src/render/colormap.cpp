@@ -1,0 +1,78 @@
+#include "render/colormap.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace dcsn::render {
+
+namespace {
+
+std::uint8_t to_byte(double v) {
+  return static_cast<std::uint8_t>(std::lround(std::clamp(v, 0.0, 1.0) * 255.0));
+}
+
+Rgb rainbow(double t) {
+  // Hue sweep 240 deg (blue) -> 0 deg (red) at full saturation/value.
+  const double hue = (1.0 - t) * 240.0 / 60.0;  // in sextants
+  const int sextant = static_cast<int>(hue) % 6;
+  const double f = hue - std::floor(hue);
+  switch (sextant) {
+    case 0: return {255, to_byte(f), 0};          // red -> yellow
+    case 1: return {to_byte(1.0 - f), 255, 0};    // yellow -> green
+    case 2: return {0, 255, to_byte(f)};          // green -> cyan
+    case 3: return {0, to_byte(1.0 - f), 255};    // cyan -> blue
+    default: return {0, 0, 255};
+  }
+}
+
+// Five-point piecewise-linear fit of viridis; adequate for visualization.
+Rgb viridis(double t) {
+  static constexpr std::array<std::array<double, 3>, 5> anchors = {{
+      {0.267, 0.005, 0.329},
+      {0.229, 0.322, 0.546},
+      {0.128, 0.567, 0.551},
+      {0.369, 0.789, 0.383},
+      {0.993, 0.906, 0.144},
+  }};
+  const double x = t * (anchors.size() - 1);
+  const auto lo = static_cast<std::size_t>(
+      std::clamp(static_cast<int>(x), 0, static_cast<int>(anchors.size()) - 2));
+  const double f = x - static_cast<double>(lo);
+  Rgb out;
+  out.r = to_byte(anchors[lo][0] + (anchors[lo + 1][0] - anchors[lo][0]) * f);
+  out.g = to_byte(anchors[lo][1] + (anchors[lo + 1][1] - anchors[lo][1]) * f);
+  out.b = to_byte(anchors[lo][2] + (anchors[lo + 1][2] - anchors[lo][2]) * f);
+  return out;
+}
+
+Rgb diverging(double t) {
+  // Blue (0) -> white (0.5) -> red (1).
+  if (t < 0.5) {
+    const double f = t * 2.0;
+    return {to_byte(0.2 + 0.8 * f), to_byte(0.3 + 0.7 * f), 255};
+  }
+  const double f = (t - 0.5) * 2.0;
+  return {255, to_byte(1.0 - 0.7 * f), to_byte(1.0 - 0.8 * f)};
+}
+
+}  // namespace
+
+Rgb colormap(ColormapKind kind, double t) {
+  t = std::clamp(t, 0.0, 1.0);
+  switch (kind) {
+    case ColormapKind::kGrayscale: {
+      const std::uint8_t g = to_byte(t);
+      return {g, g, g};
+    }
+    case ColormapKind::kRainbow:
+      return rainbow(t);
+    case ColormapKind::kViridis:
+      return viridis(t);
+    case ColormapKind::kDiverging:
+      return diverging(t);
+  }
+  return {};
+}
+
+}  // namespace dcsn::render

@@ -1,0 +1,31 @@
+// Colormaps for scalar overlays.
+//
+// Figure 6 uses "a rainbow colormap" for the pollutant; the browser maps
+// vorticity and speed. Rainbow reproduces the paper's figures; viridis and
+// diverging maps are provided because rainbow is a poor default by modern
+// standards.
+#pragma once
+
+#include <cstdint>
+
+namespace dcsn::render {
+
+struct Rgb {
+  std::uint8_t r = 0;
+  std::uint8_t g = 0;
+  std::uint8_t b = 0;
+
+  bool operator==(const Rgb&) const = default;
+};
+
+enum class ColormapKind {
+  kGrayscale,
+  kRainbow,    ///< blue -> cyan -> green -> yellow -> red (paper fig. 6)
+  kViridis,    ///< perceptually uniform
+  kDiverging,  ///< blue -> white -> red, for signed quantities (vorticity)
+};
+
+/// Maps t in [0,1] (clamped) through the selected colormap.
+[[nodiscard]] Rgb colormap(ColormapKind kind, double t);
+
+}  // namespace dcsn::render

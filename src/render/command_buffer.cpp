@@ -1,0 +1,32 @@
+#include "render/command_buffer.hpp"
+
+#include "util/error.hpp"
+
+namespace dcsn::render {
+
+void CommandBuffer::reserve(std::size_t spots, std::size_t vertices_per_spot) {
+  headers_.reserve(spots);
+  vertices_.reserve(spots * vertices_per_spot);
+}
+
+std::span<MeshVertex> CommandBuffer::add_mesh(float intensity, int cols, int rows) {
+  DCSN_CHECK(cols >= 2 && rows >= 2, "a mesh needs at least 2x2 vertices");
+  DCSN_CHECK(cols <= 0xffff && rows <= 0xffff, "mesh dimensions exceed 16 bits");
+  MeshHeader h;
+  h.intensity = intensity;
+  h.cols = static_cast<std::uint16_t>(cols);
+  h.rows = static_cast<std::uint16_t>(rows);
+  h.vertex_offset = static_cast<std::uint32_t>(vertices_.size());
+  const std::size_t count =
+      static_cast<std::size_t>(cols) * static_cast<std::size_t>(rows);
+  vertices_.resize(vertices_.size() + count);
+  headers_.push_back(h);
+  return {vertices_.data() + h.vertex_offset, count};
+}
+
+void CommandBuffer::clear() {
+  headers_.clear();
+  vertices_.clear();
+}
+
+}  // namespace dcsn::render

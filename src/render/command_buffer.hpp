@@ -1,0 +1,67 @@
+// Vertex streams from processors to a graphics pipe.
+//
+// Spot transformation happens in software on the CPUs (paper §4), so what
+// crosses the bus is fully transformed geometry: for each spot a small
+// textured mesh in texture-pixel coordinates plus its scalar intensity.
+// A vertex is 16 bytes (x, y, u, v as float) — the figure the paper uses
+// when it reports ~31 MB of geometry per texture and ~116 MB/s of bus
+// traffic; byte_size() reproduces that accounting exactly.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dcsn::render {
+
+struct MeshVertex {
+  float x = 0.0f;  ///< texture-space pixel coordinate
+  float y = 0.0f;
+  float u = 0.0f;  ///< spot-profile coordinate in [0,1]
+  float v = 0.0f;
+};
+static_assert(sizeof(MeshVertex) == 16, "bandwidth accounting assumes 16-byte vertices");
+
+/// One spot's mesh: `cols` x `rows` vertices forming (cols-1)*(rows-1)
+/// quadrilaterals. A default (non-bent) spot is a 2x2 mesh = 1 quad.
+struct MeshHeader {
+  float intensity = 0.0f;  ///< the spot's a_i (already includes fade weight)
+  std::uint16_t cols = 0;
+  std::uint16_t rows = 0;
+  std::uint32_t vertex_offset = 0;  ///< index into the buffer's vertex array
+};
+
+class CommandBuffer {
+ public:
+  CommandBuffer() = default;
+
+  /// Pre-allocates for `spots` meshes of `vertices_per_spot` vertices.
+  void reserve(std::size_t spots, std::size_t vertices_per_spot);
+
+  /// Starts a new mesh and returns a span of `cols*rows` vertices for the
+  /// caller to fill (row-major).
+  std::span<MeshVertex> add_mesh(float intensity, int cols, int rows);
+
+  [[nodiscard]] std::span<const MeshHeader> meshes() const { return headers_; }
+  [[nodiscard]] std::span<const MeshVertex> vertices_of(const MeshHeader& h) const {
+    return {vertices_.data() + h.vertex_offset,
+            static_cast<std::size_t>(h.cols) * static_cast<std::size_t>(h.rows)};
+  }
+
+  [[nodiscard]] std::size_t mesh_count() const { return headers_.size(); }
+  [[nodiscard]] std::size_t vertex_count() const { return vertices_.size(); }
+
+  /// Raw geometry bytes this buffer moves across the bus.
+  [[nodiscard]] std::size_t byte_size() const {
+    return vertices_.size() * sizeof(MeshVertex) + headers_.size() * sizeof(MeshHeader);
+  }
+
+  [[nodiscard]] bool empty() const { return headers_.empty(); }
+  void clear();
+
+ private:
+  std::vector<MeshHeader> headers_;
+  std::vector<MeshVertex> vertices_;
+};
+
+}  // namespace dcsn::render

@@ -1,0 +1,31 @@
+#include "render/compose.hpp"
+
+#include "util/error.hpp"
+
+namespace dcsn::render {
+
+std::int64_t gather_blend(Framebuffer& final_texture,
+                          std::span<const Framebuffer> parts) {
+  final_texture.clear();
+  std::int64_t pixels = 0;
+  for (const Framebuffer& part : parts) {
+    final_texture.accumulate(part);
+    pixels += static_cast<std::int64_t>(part.pixel_count());
+  }
+  return pixels;
+}
+
+std::int64_t compose_tiles(Framebuffer& final_texture,
+                           std::span<const Framebuffer> tiles,
+                           std::span<const TilePlacement> placements) {
+  DCSN_CHECK(tiles.size() == placements.size(),
+             "one placement per tile required");
+  std::int64_t pixels = 0;
+  for (std::size_t k = 0; k < tiles.size(); ++k) {
+    final_texture.copy_rect_from(tiles[k], placements[k].x0, placements[k].y0);
+    pixels += static_cast<std::int64_t>(tiles[k].pixel_count());
+  }
+  return pixels;
+}
+
+}  // namespace dcsn::render

@@ -1,0 +1,35 @@
+// Combining partial textures into the final spot-noise texture.
+//
+// Divide and conquer produces one partial texture per graphics pipe. Two
+// composition strategies from the paper:
+//   * gather_blend — every pipe rendered the full texture area; the partials
+//     are summed sequentially (the overhead term c of eq. 3.2);
+//   * compose_tiles — every pipe rendered a disjoint region; the partials
+//     are copied into place, cheaper than blending but bought with duplicated
+//     work for spots that straddle region boundaries (paper §3, §4).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "render/framebuffer.hpp"
+
+namespace dcsn::render {
+
+/// Pixel rectangle a tile occupies inside the final texture.
+struct TilePlacement {
+  int x0 = 0;
+  int y0 = 0;
+};
+
+/// Sequentially accumulates `parts` into `final_texture` (which is cleared
+/// first). Sizes must match. Returns the number of pixels blended, letting
+/// callers account the cost of the sequential step.
+std::int64_t gather_blend(Framebuffer& final_texture, std::span<const Framebuffer> parts);
+
+/// Copies each tile to its placement. Tiles must fit and, by construction of
+/// the tiling, be disjoint.
+std::int64_t compose_tiles(Framebuffer& final_texture, std::span<const Framebuffer> tiles,
+                           std::span<const TilePlacement> placements);
+
+}  // namespace dcsn::render

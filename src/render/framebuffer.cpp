@@ -1,0 +1,56 @@
+#include "render/framebuffer.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace dcsn::render {
+
+Framebuffer::Framebuffer(int width, int height)
+    : width_(width), height_(height),
+      data_(static_cast<std::size_t>(width) * static_cast<std::size_t>(height), 0.0f) {
+  DCSN_CHECK(width > 0 && height > 0, "framebuffer dimensions must be positive");
+}
+
+void Framebuffer::clear(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Framebuffer::accumulate(const Framebuffer& src) {
+  DCSN_CHECK(src.width_ == width_ && src.height_ == height_,
+             "accumulate requires equal framebuffer sizes");
+  float* __restrict__ d = data_.data();
+  const float* __restrict__ s = src.data_.data();
+  const std::size_t n = data_.size();
+#pragma omp simd
+  for (std::size_t i = 0; i < n; ++i) d[i] += s[i];
+}
+
+void Framebuffer::copy_rect_from(const Framebuffer& src, int x0, int y0) {
+  DCSN_CHECK(x0 >= 0 && y0 >= 0 && x0 + src.width_ <= width_ &&
+                 y0 + src.height_ <= height_,
+             "tile must fit inside the destination");
+  for (int y = 0; y < src.height_; ++y) {
+    const auto src_row = src.pixels().row(y);
+    std::copy(src_row.begin(), src_row.end(), pixels().row(y + y0).begin() + x0);
+  }
+}
+
+std::pair<float, float> Framebuffer::min_max() const {
+  if (data_.empty()) return {0.0f, 0.0f};
+  const auto [lo, hi] = std::minmax_element(data_.begin(), data_.end());
+  return {*lo, *hi};
+}
+
+double Framebuffer::mean() const {
+  if (data_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const float v : data_) sum += v;
+  return sum / static_cast<double>(data_.size());
+}
+
+bool Framebuffer::operator==(const Framebuffer& other) const {
+  return width_ == other.width_ && height_ == other.height_ && data_ == other.data_;
+}
+
+}  // namespace dcsn::render

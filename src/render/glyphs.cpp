@@ -1,0 +1,79 @@
+#include "render/glyphs.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace dcsn::render {
+
+void draw_arrow_plot(Image& image, const WorldToImage& mapping,
+                     const field::VectorField& f, const ArrowPlotConfig& config) {
+  DCSN_CHECK(config.nx >= 1 && config.ny >= 1, "arrow grid must be non-empty");
+  const double max_mag = f.max_magnitude();
+  if (max_mag <= 0.0) return;
+  const field::Rect domain = f.domain();
+
+  for (int j = 0; j < config.ny; ++j) {
+    for (int i = 0; i < config.nx; ++i) {
+      const field::Vec2 p = domain.at((i + 0.5) / config.nx, (j + 0.5) / config.ny);
+      const field::Vec2 v = f.sample(p);
+      const double speed = v.length();
+      if (speed < 1e-12 * max_mag) continue;
+
+      auto [x0, y0] = mapping.map(p);
+      // Arrow vector in image space (y flips), scaled by relative speed.
+      const double scale = config.max_length_px * (speed / max_mag) / speed;
+      const double dx = v.x * scale;
+      const double dy = -v.y * scale;
+      const double x1 = x0 + dx;
+      const double y1 = y0 + dy;
+
+      // Shaft plus two head strokes, drawn as world-space polylines mapped
+      // back — simpler: draw in image space via tiny world segments.
+      auto image_to_world = [&](double px, double py) {
+        return mapping.unmap(px, py);
+      };
+      const std::vector<field::Vec2> shaft = {image_to_world(x0, y0),
+                                              image_to_world(x1, y1)};
+      draw_polyline(image, mapping, shaft, config.color, config.alpha, 1);
+
+      const double head = config.head_fraction * std::hypot(dx, dy);
+      const double angle = std::atan2(dy, dx);
+      for (const double side : {+2.6, -2.6}) {
+        const double hx = x1 + head * std::cos(angle + side);
+        const double hy = y1 + head * std::sin(angle + side);
+        const std::vector<field::Vec2> stroke = {image_to_world(x1, y1),
+                                                 image_to_world(hx, hy)};
+        draw_polyline(image, mapping, stroke, config.color, config.alpha, 1);
+      }
+    }
+  }
+}
+
+void draw_streamline_plot(Image& image, const WorldToImage& mapping,
+                          const field::VectorField& f,
+                          const StreamlinePlotConfig& config) {
+  DCSN_CHECK(config.seeds_x >= 1 && config.seeds_y >= 1, "seed grid must be non-empty");
+  const field::Rect domain = f.domain();
+  // Convert the pixel step to world units via the average map scale.
+  const double world_per_px = 0.5 * (domain.width() / image.width() +
+                                     domain.height() / image.height());
+  particles::TracerConfig tc;
+  tc.step_length = config.step_px * world_per_px;
+  const particles::StreamlineTracer tracer(tc);
+
+  for (int j = 0; j < config.seeds_y; ++j) {
+    for (int i = 0; i < config.seeds_x; ++i) {
+      const field::Vec2 seed =
+          domain.at((i + 0.5) / config.seeds_x, (j + 0.5) / config.seeds_y);
+      const particles::Streamline line =
+          tracer.trace(f, seed, config.steps_each_way, config.steps_each_way);
+      if (line.size() < 2) continue;
+      draw_polyline(image, mapping, line.points, config.color, config.alpha,
+                    config.thickness);
+    }
+  }
+}
+
+}  // namespace dcsn::render

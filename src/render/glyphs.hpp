@@ -1,0 +1,46 @@
+// Classic discrete flow-visualization baselines: arrow plots and
+// streamlines.
+//
+// The paper's motivation (§1, §5.1): arrow plots and streamlines show the
+// field "at only discrete positions", and the smog application replaced its
+// arrow plots with spot noise. These renderers implement those baselines so
+// examples and benches can put the discrete and dense techniques side by
+// side.
+#pragma once
+
+#include "field/vector_field.hpp"
+#include "particles/tracer.hpp"
+#include "render/image.hpp"
+#include "render/overlay.hpp"
+
+namespace dcsn::render {
+
+struct ArrowPlotConfig {
+  int nx = 24;               ///< arrows across the domain
+  int ny = 24;
+  double max_length_px = 18.0;  ///< arrow length at the field's max speed
+  double head_fraction = 0.3;
+  Rgb color{0, 0, 0};
+  double alpha = 0.9;
+};
+
+/// Draws a regular grid of velocity arrows over the image.
+void draw_arrow_plot(Image& image, const WorldToImage& mapping,
+                     const field::VectorField& f, const ArrowPlotConfig& config);
+
+struct StreamlinePlotConfig {
+  int seeds_x = 8;           ///< seed grid
+  int seeds_y = 8;
+  int steps_each_way = 200;  ///< tracer steps up/downstream per seed
+  double step_px = 1.5;      ///< arc length per step in image pixels
+  Rgb color{0, 0, 0};
+  double alpha = 0.8;
+  int thickness = 1;
+};
+
+/// Traces and draws streamlines from a regular seed grid.
+void draw_streamline_plot(Image& image, const WorldToImage& mapping,
+                          const field::VectorField& f,
+                          const StreamlinePlotConfig& config);
+
+}  // namespace dcsn::render

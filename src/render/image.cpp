@@ -1,0 +1,60 @@
+#include "render/image.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace dcsn::render {
+
+Image::Image(int width, int height, Rgb fill)
+    : width_(width), height_(height),
+      pixels_(static_cast<std::size_t>(width) * static_cast<std::size_t>(height), fill) {
+  DCSN_CHECK(width > 0 && height > 0, "image dimensions must be positive");
+}
+
+void Image::blend(int x, int y, Rgb color, double alpha) {
+  if (x < 0 || x >= width_ || y < 0 || y >= height_) return;
+  alpha = std::clamp(alpha, 0.0, 1.0);
+  Rgb& dst = at(x, y);
+  dst.r = static_cast<std::uint8_t>(std::lround(dst.r + (color.r - dst.r) * alpha));
+  dst.g = static_cast<std::uint8_t>(std::lround(dst.g + (color.g - dst.g) * alpha));
+  dst.b = static_cast<std::uint8_t>(std::lround(dst.b + (color.b - dst.b) * alpha));
+}
+
+double texture_stddev(const Framebuffer& texture) {
+  const auto pixels = texture.pixels();
+  const double mean = texture.mean();
+  double sum_sq = 0.0;
+  for (int y = 0; y < pixels.height(); ++y) {
+    for (const float v : pixels.row(y)) {
+      const double d = v - mean;
+      sum_sq += d * d;
+    }
+  }
+  const auto n = static_cast<double>(texture.pixel_count());
+  return n > 0 ? std::sqrt(sum_sq / n) : 0.0;
+}
+
+Image texture_to_image(const Framebuffer& texture, const ToneMap& tone) {
+  double gain = tone.gain;
+  if (tone.auto_gain) {
+    const double sigma = texture_stddev(texture);
+    gain = sigma > 0.0 ? 0.5 / (tone.sigma_range * sigma) : 1.0;
+  }
+  const double mean = tone.auto_gain ? texture.mean() : 0.0;
+
+  Image img(texture.width(), texture.height());
+  const auto pixels = texture.pixels();
+  for (int y = 0; y < texture.height(); ++y) {
+    for (int x = 0; x < texture.width(); ++x) {
+      const double gray = 0.5 + gain * (pixels(x, y) - mean);
+      const auto byte = static_cast<std::uint8_t>(
+          std::lround(std::clamp(gray, 0.0, 1.0) * 255.0));
+      img.at(x, y) = {byte, byte, byte};
+    }
+  }
+  return img;
+}
+
+}  // namespace dcsn::render

@@ -1,0 +1,61 @@
+// 8-bit RGB images: the final rendered frames (pipeline step 4).
+//
+// Spot-noise textures are zero-mean float fields; mapping them onto an
+// 8-bit image centers them at mid-gray. Scalar data (pollutant, vorticity)
+// is composited over the texture through a colormap with alpha, which is
+// the "superimposed on the wind field" rendering of figure 6.
+#pragma once
+
+#include <vector>
+
+#include "render/colormap.hpp"
+#include "render/framebuffer.hpp"
+#include "util/span2d.hpp"
+
+namespace dcsn::render {
+
+class Image {
+ public:
+  Image() = default;
+  Image(int width, int height, Rgb fill = {0, 0, 0});
+
+  [[nodiscard]] int width() const { return width_; }
+  [[nodiscard]] int height() const { return height_; }
+
+  [[nodiscard]] Rgb& at(int x, int y) {
+    return pixels_[static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+                   static_cast<std::size_t>(x)];
+  }
+  [[nodiscard]] const Rgb& at(int x, int y) const {
+    return pixels_[static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+                   static_cast<std::size_t>(x)];
+  }
+
+  /// Alpha-blends `color` over pixel (x, y); out-of-bounds writes ignored.
+  void blend(int x, int y, Rgb color, double alpha);
+
+  [[nodiscard]] const std::vector<Rgb>& pixels() const { return pixels_; }
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<Rgb> pixels_;
+};
+
+/// How to tone-map a float texture to 8 bits.
+struct ToneMap {
+  /// gray = 0.5 + gain * value, clamped. With gain chosen from the texture's
+  /// standard deviation when auto_gain is set.
+  double gain = 1.0;
+  bool auto_gain = true;
+  /// Target: ±2 sigma fills the 8-bit range when auto_gain.
+  double sigma_range = 2.0;
+};
+
+/// Renders a spot-noise texture to grayscale.
+[[nodiscard]] Image texture_to_image(const Framebuffer& texture, const ToneMap& tone = {});
+
+/// Measured standard deviation of a texture (used by auto gain and tests).
+[[nodiscard]] double texture_stddev(const Framebuffer& texture);
+
+}  // namespace dcsn::render

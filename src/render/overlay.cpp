@@ -1,0 +1,73 @@
+#include "render/overlay.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dcsn::render {
+
+void overlay_scalar(Image& image, const WorldToImage& mapping,
+                    const std::function<double(field::Vec2)>& sample, double lo,
+                    double hi, ColormapKind kind,
+                    const std::function<double(double)>& alpha) {
+  const double span = hi - lo;
+  if (span <= 0.0) return;
+  for (int y = 0; y < image.height(); ++y) {
+    for (int x = 0; x < image.width(); ++x) {
+      const field::Vec2 p = mapping.unmap(x + 0.5, y + 0.5);
+      const double t = std::clamp((sample(p) - lo) / span, 0.0, 1.0);
+      const double a = alpha(t);
+      if (a <= 0.0) continue;
+      image.blend(x, y, colormap(kind, t), a);
+    }
+  }
+}
+
+void draw_polyline(Image& image, const WorldToImage& mapping,
+                   std::span<const field::Vec2> points, Rgb color, double alpha,
+                   int thickness) {
+  if (points.size() < 2) return;
+  const double radius = std::max(0.5, thickness * 0.5);
+  auto stamp = [&](double px, double py) {
+    if (thickness <= 1) {
+      // Crisp single-pixel line: paint the pixel containing the sample.
+      image.blend(static_cast<int>(std::floor(px)), static_cast<int>(std::floor(py)),
+                  color, alpha);
+      return;
+    }
+    const int x0 = static_cast<int>(std::floor(px - radius));
+    const int x1 = static_cast<int>(std::ceil(px + radius));
+    const int y0 = static_cast<int>(std::floor(py - radius));
+    const int y1 = static_cast<int>(std::ceil(py + radius));
+    for (int y = y0; y <= y1; ++y) {
+      for (int x = x0; x <= x1; ++x) {
+        const double dx = (x + 0.5) - px;
+        const double dy = (y + 0.5) - py;
+        if (dx * dx + dy * dy <= radius * radius) image.blend(x, y, color, alpha);
+      }
+    }
+  };
+  for (std::size_t k = 0; k + 1 < points.size(); ++k) {
+    auto [ax, ay] = mapping.map(points[k]);
+    auto [bx, by] = mapping.map(points[k + 1]);
+    const double len = std::hypot(bx - ax, by - ay);
+    const int steps = std::max(1, static_cast<int>(std::ceil(len)));
+    for (int s = 0; s <= steps; ++s) {
+      const double t = static_cast<double>(s) / steps;
+      stamp(ax + (bx - ax) * t, ay + (by - ay) * t);
+    }
+  }
+}
+
+void fill_rect(Image& image, const WorldToImage& mapping, field::Rect world_rect,
+               Rgb color) {
+  auto [x0, y1] = mapping.map(world_rect.min());  // world min -> image bottom
+  auto [x1, y0] = mapping.map(world_rect.max());
+  const int px0 = std::max(0, static_cast<int>(std::floor(x0)));
+  const int px1 = std::min(image.width() - 1, static_cast<int>(std::ceil(x1)));
+  const int py0 = std::max(0, static_cast<int>(std::floor(y0)));
+  const int py1 = std::min(image.height() - 1, static_cast<int>(std::ceil(y1)));
+  for (int y = py0; y <= py1; ++y)
+    for (int x = px0; x <= px1; ++x) image.at(x, y) = color;
+}
+
+}  // namespace dcsn::render

@@ -1,0 +1,63 @@
+// Overlays composited over the rendered texture (pipeline step 4: "other
+// visualization techniques may also be superimposed").
+//
+// Figure 6 layers a colormapped pollutant field and a map outline over the
+// wind texture. The WorldToImage mapping ties world coordinates to image
+// pixels so fields and polylines defined in field space land correctly.
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "field/scalar_field.hpp"
+#include "field/vec2.hpp"
+#include "render/image.hpp"
+
+namespace dcsn::render {
+
+/// Affine map from a world rectangle onto the full image (y flipped so
+/// world "up" is image "up").
+class WorldToImage {
+ public:
+  WorldToImage(field::Rect world, int image_width, int image_height)
+      : world_(world), width_(image_width), height_(image_height) {}
+
+  [[nodiscard]] std::pair<double, double> map(field::Vec2 p) const {
+    const double u = (p.x - world_.x0) / world_.width();
+    const double v = (p.y - world_.y0) / world_.height();
+    return {u * width_, (1.0 - v) * height_};
+  }
+
+  [[nodiscard]] field::Vec2 unmap(double px, double py) const {
+    return {world_.x0 + (px / width_) * world_.width(),
+            world_.y0 + (1.0 - py / height_) * world_.height()};
+  }
+
+  [[nodiscard]] const field::Rect& world() const { return world_; }
+
+ private:
+  field::Rect world_;
+  int width_;
+  int height_;
+};
+
+/// Composites a scalar field over the image through a colormap. The value
+/// range [lo, hi] maps to colormap [0,1]; `alpha(value_t)` gives per-pixel
+/// opacity as a function of the normalized value, letting low concentrations
+/// stay transparent (as the pollutant in fig. 6 does).
+void overlay_scalar(Image& image, const WorldToImage& mapping,
+                    const std::function<double(field::Vec2)>& sample, double lo,
+                    double hi, ColormapKind kind,
+                    const std::function<double(double)>& alpha);
+
+/// Draws a polyline given in world coordinates, `thickness` pixels wide.
+void draw_polyline(Image& image, const WorldToImage& mapping,
+                   std::span<const field::Vec2> points, Rgb color,
+                   double alpha = 1.0, int thickness = 1);
+
+/// Fills a world-space rectangle with a flat color (used to mask the solid
+/// block in the DNS figures).
+void fill_rect(Image& image, const WorldToImage& mapping, field::Rect world_rect,
+               Rgb color);
+
+}  // namespace dcsn::render

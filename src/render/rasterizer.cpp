@@ -1,0 +1,163 @@
+#include "render/rasterizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dcsn::render {
+
+namespace {
+
+// Top-left rule for y-down pixel coordinates with positive-area winding:
+// top edges run in +x, left edges run in -y. Fragments exactly on a
+// top-left edge are inside; on any other edge they belong to the neighbor.
+inline bool is_top_left(float dx, float dy) {
+  return (dy == 0.0f && dx > 0.0f) || dy < 0.0f;
+}
+
+template <BlendMode Mode>
+void raster_tri_impl(const RasterTarget& target, MeshVertex a, MeshVertex b,
+                     MeshVertex c, float weight, const SpotProfile& profile,
+                     RasterStats& stats) {
+  // Shift into target-local pixel coordinates.
+  a.x -= target.origin_x;
+  a.y -= target.origin_y;
+  b.x -= target.origin_x;
+  b.y -= target.origin_y;
+  c.x -= target.origin_x;
+  c.y -= target.origin_y;
+
+  // Signed doubled area; positive means screen-clockwise (our canonical
+  // winding). Flip b/c to normalize — bent-spot ribbons can fold over.
+  float area2 = (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+  if (area2 == 0.0f || !std::isfinite(area2)) return;
+  if (area2 < 0.0f) {
+    std::swap(b, c);
+    area2 = -area2;
+  }
+
+  const auto pixels = target.pixels;
+  const int x_min = std::max(0, static_cast<int>(std::floor(std::min({a.x, b.x, c.x}))));
+  const int x_max = std::min(pixels.width() - 1,
+                             static_cast<int>(std::ceil(std::max({a.x, b.x, c.x}))));
+  const int y_min = std::max(0, static_cast<int>(std::floor(std::min({a.y, b.y, c.y}))));
+  const int y_max = std::min(pixels.height() - 1,
+                             static_cast<int>(std::ceil(std::max({a.y, b.y, c.y}))));
+  if (x_min > x_max || y_min > y_max) return;
+
+  // Edge functions in winding order; e_ab vanishes on edge a->b and is
+  // positive inside. Values step by the edge deltas across the raster.
+  //
+  // Watertightness: adjacent triangles traverse a shared edge in opposite
+  // directions. Evaluating both against the *same* canonical endpoint
+  // ordering makes their edge values exact negations of each other, so a
+  // pixel on the seam is inside exactly one triangle (top-left rule breaks
+  // the e == 0 tie) and never falls through a rounding gap.
+  struct Edge {
+    float dx, dy, row_value;
+    bool top_left;
+  };
+  auto make_edge = [&](const MeshVertex& s, const MeshVertex& e) {
+    const bool swapped = (e.x < s.x) || (e.x == s.x && e.y < s.y);
+    const MeshVertex& lo = swapped ? e : s;
+    const MeshVertex& hi = swapped ? s : e;
+    const float cdx = hi.x - lo.x;
+    const float cdy = hi.y - lo.y;
+    const float px = static_cast<float>(x_min) + 0.5f;
+    const float py = static_cast<float>(y_min) + 0.5f;
+    const float canonical = cdx * (py - lo.y) - cdy * (px - lo.x);
+    // Negation is exact in IEEE arithmetic, so stepping the signed value by
+    // the signed deltas keeps the two traversals exact mirrors.
+    const float sign = swapped ? -1.0f : 1.0f;
+    Edge edge;
+    edge.dx = sign * cdx;
+    edge.dy = sign * cdy;
+    edge.row_value = sign * canonical;
+    edge.top_left = is_top_left(edge.dx, edge.dy);
+    return edge;
+  };
+  Edge e_ab = make_edge(a, b);  // weight for c
+  Edge e_bc = make_edge(b, c);  // weight for a
+  Edge e_ca = make_edge(c, a);  // weight for b
+
+  const float inv_area = 1.0f / area2;
+  std::int64_t fragments = 0;
+
+  for (int y = y_min; y <= y_max; ++y) {
+    float v_ab = e_ab.row_value;
+    float v_bc = e_bc.row_value;
+    float v_ca = e_ca.row_value;
+    float* row = &pixels(0, y);
+    for (int x = x_min; x <= x_max; ++x) {
+      const bool in_ab = v_ab > 0.0f || (v_ab == 0.0f && e_ab.top_left);
+      const bool in_bc = v_bc > 0.0f || (v_bc == 0.0f && e_bc.top_left);
+      const bool in_ca = v_ca > 0.0f || (v_ca == 0.0f && e_ca.top_left);
+      if (in_ab && in_bc && in_ca) {
+        const float wa = v_bc * inv_area;
+        const float wb = v_ca * inv_area;
+        const float wc = v_ab * inv_area;
+        const float u = wa * a.u + wb * b.u + wc * c.u;
+        const float v = wa * a.v + wb * b.v + wc * c.v;
+        const float texel = profile.sample(u, v);
+        if constexpr (Mode == BlendMode::kAdditive) {
+          row[x] += weight * texel;
+        } else {
+          row[x] = std::max(row[x], weight * texel);
+        }
+        ++fragments;
+      }
+      // de/dx = -dy
+      v_ab -= e_ab.dy;
+      v_bc -= e_bc.dy;
+      v_ca -= e_ca.dy;
+    }
+    // de/dy = +dx
+    e_ab.row_value += e_ab.dx;
+    e_bc.row_value += e_bc.dx;
+    e_ca.row_value += e_ca.dx;
+  }
+  ++stats.triangles;
+  stats.fragments += fragments;
+}
+
+}  // namespace
+
+void rasterize_triangle(const RasterTarget& target, const MeshVertex& a,
+                        const MeshVertex& b, const MeshVertex& c, float weight,
+                        const SpotProfile& profile, BlendMode mode,
+                        RasterStats& stats) {
+  if (mode == BlendMode::kAdditive) {
+    raster_tri_impl<BlendMode::kAdditive>(target, a, b, c, weight, profile, stats);
+  } else {
+    raster_tri_impl<BlendMode::kMaximum>(target, a, b, c, weight, profile, stats);
+  }
+}
+
+void rasterize_mesh(const RasterTarget& target, std::span<const MeshVertex> vertices,
+                    int cols, int rows, float weight, const SpotProfile& profile,
+                    BlendMode mode, RasterStats& stats) {
+  auto vertex = [&](int i, int j) -> const MeshVertex& {
+    return vertices[static_cast<std::size_t>(j) * static_cast<std::size_t>(cols) +
+                    static_cast<std::size_t>(i)];
+  };
+  for (int j = 0; j + 1 < rows; ++j) {
+    for (int i = 0; i + 1 < cols; ++i) {
+      const MeshVertex& v00 = vertex(i, j);
+      const MeshVertex& v10 = vertex(i + 1, j);
+      const MeshVertex& v11 = vertex(i + 1, j + 1);
+      const MeshVertex& v01 = vertex(i, j + 1);
+      rasterize_triangle(target, v00, v10, v11, weight, profile, mode, stats);
+      rasterize_triangle(target, v00, v11, v01, weight, profile, mode, stats);
+      ++stats.quads;
+    }
+  }
+}
+
+void rasterize_buffer(const RasterTarget& target, const CommandBuffer& buffer,
+                      const SpotProfile& profile, BlendMode mode, RasterStats& stats) {
+  for (const MeshHeader& h : buffer.meshes()) {
+    rasterize_mesh(target, buffer.vertices_of(h), h.cols, h.rows, h.intensity,
+                   profile, mode, stats);
+  }
+}
+
+}  // namespace dcsn::render

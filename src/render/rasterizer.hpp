@@ -1,0 +1,63 @@
+// Software scan conversion of textured spot meshes.
+//
+// This is the graphics pipe's core: each spot mesh arrives as transformed
+// vertices (texture-pixel coordinates + profile UVs) and is scan-converted
+// quad by quad, each quad split into two triangles rasterized with the
+// top-left fill rule so adjacent quads of a bent-spot ribbon never double-
+// blend a pixel along their shared edge. Fragments sample the spot profile
+// bilinearly and blend into the float target — the software equivalent of
+// texture-mapped polygon rendering with additive blending on the
+// InfiniteReality.
+#pragma once
+
+#include <cstdint>
+
+#include "render/command_buffer.hpp"
+#include "render/spot_profile.hpp"
+#include "util/span2d.hpp"
+
+namespace dcsn::render {
+
+enum class BlendMode {
+  kAdditive,  ///< dst += w * tex — the spot-noise sum
+  kMaximum,   ///< dst = max(dst, w * tex) — used by some filtered variants
+};
+
+/// Where fragments land. `origin_x/y` let a tile rasterize geometry that is
+/// expressed in full-texture coordinates (texture decomposition, paper §3).
+struct RasterTarget {
+  util::Span2D<float> pixels;
+  float origin_x = 0.0f;
+  float origin_y = 0.0f;
+};
+
+struct RasterStats {
+  std::int64_t triangles = 0;
+  std::int64_t quads = 0;
+  std::int64_t fragments = 0;  ///< pixels actually blended
+
+  RasterStats& operator+=(const RasterStats& o) {
+    triangles += o.triangles;
+    quads += o.quads;
+    fragments += o.fragments;
+    return *this;
+  }
+};
+
+/// Rasterizes one triangle. Vertices carry positions in texture pixels and
+/// profile UVs; `weight` scales every fragment (the spot's a_i).
+void rasterize_triangle(const RasterTarget& target, const MeshVertex& a,
+                        const MeshVertex& b, const MeshVertex& c, float weight,
+                        const SpotProfile& profile, BlendMode mode,
+                        RasterStats& stats);
+
+/// Rasterizes a cols-x-rows mesh (row-major vertices) as its component quads.
+void rasterize_mesh(const RasterTarget& target, std::span<const MeshVertex> vertices,
+                    int cols, int rows, float weight, const SpotProfile& profile,
+                    BlendMode mode, RasterStats& stats);
+
+/// Rasterizes every mesh in a command buffer.
+void rasterize_buffer(const RasterTarget& target, const CommandBuffer& buffer,
+                      const SpotProfile& profile, BlendMode mode, RasterStats& stats);
+
+}  // namespace dcsn::render

@@ -1,0 +1,63 @@
+#include "render/scene.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace dcsn::render {
+
+float sample_texture(const Framebuffer& texture, double x, double y) {
+  const double fx = std::clamp(x - 0.5, 0.0, static_cast<double>(texture.width() - 1));
+  const double fy = std::clamp(y - 0.5, 0.0, static_cast<double>(texture.height() - 1));
+  const int x0 = static_cast<int>(fx);
+  const int y0 = static_cast<int>(fy);
+  const int x1 = std::min(x0 + 1, texture.width() - 1);
+  const int y1 = std::min(y0 + 1, texture.height() - 1);
+  const auto tx = static_cast<float>(fx - x0);
+  const auto ty = static_cast<float>(fy - y0);
+  const auto px = texture.pixels();
+  const float a = px(x0, y0) + (px(x1, y0) - px(x0, y0)) * tx;
+  const float b = px(x0, y1) + (px(x1, y1) - px(x0, y1)) * tx;
+  return a + (b - a) * ty;
+}
+
+Image render_scene(const Framebuffer& texture, const SceneView& view) {
+  DCSN_CHECK(view.out_width > 0 && view.out_height > 0,
+             "scene output size must be positive");
+  DCSN_CHECK(view.texture_world.width() > 0 && view.texture_world.height() > 0,
+             "texture world rect must be non-empty");
+
+  // Tone-map parameters from the *visible* data so zooming keeps contrast.
+  double gain = view.tone.gain;
+  double mean = 0.0;
+  if (view.tone.auto_gain) {
+    mean = texture.mean();
+    const double sigma = texture_stddev(texture);
+    gain = sigma > 0.0 ? 0.5 / (view.tone.sigma_range * sigma) : 1.0;
+  }
+
+  Image img(view.out_width, view.out_height);
+  for (int y = 0; y < view.out_height; ++y) {
+    for (int x = 0; x < view.out_width; ++x) {
+      // Output pixel -> world point inside the window (image y down).
+      const double u = (x + 0.5) / view.out_width;
+      const double v = (y + 0.5) / view.out_height;
+      const field::Vec2 world = {view.window.x0 + u * view.window.width(),
+                                 view.window.y1 - v * view.window.height()};
+      // World point -> texture pixel coordinates (texture y also down).
+      const double tx = (world.x - view.texture_world.x0) /
+                        view.texture_world.width() * texture.width();
+      const double ty = (view.texture_world.y1 - world.y) /
+                        view.texture_world.height() * texture.height();
+      const float value = sample_texture(texture, tx, ty);
+      const double gray = 0.5 + gain * (value - mean);
+      const auto byte = static_cast<std::uint8_t>(
+          std::lround(std::clamp(gray, 0.0, 1.0) * 255.0));
+      img.at(x, y) = {byte, byte, byte};
+    }
+  }
+  return img;
+}
+
+}  // namespace dcsn::render

@@ -1,0 +1,32 @@
+// Pipeline step 4: "an image is rendered by mapping the texture onto a
+// geometric surface."
+//
+// In the 2D applications the surface is a view rectangle: the synthesized
+// texture (which covers the field's full domain) is sampled bilinearly into
+// the output image for an arbitrary world-space window — this is what lets
+// the data browser zoom and pan a 512x512 texture without re-synthesizing,
+// and what decouples texture resolution from display resolution.
+#pragma once
+
+#include "field/vec2.hpp"
+#include "render/framebuffer.hpp"
+#include "render/image.hpp"
+
+namespace dcsn::render {
+
+/// Bilinear sample of a float texture at continuous pixel coordinates
+/// (texel centers at half-integers), border-clamped.
+[[nodiscard]] float sample_texture(const Framebuffer& texture, double x, double y);
+
+struct SceneView {
+  field::Rect texture_world;  ///< world rect the texture covers
+  field::Rect window;         ///< world rect to display
+  int out_width = 512;
+  int out_height = 512;
+  ToneMap tone;
+};
+
+/// Renders the window of the texture into a grayscale image.
+[[nodiscard]] Image render_scene(const Framebuffer& texture, const SceneView& view);
+
+}  // namespace dcsn::render

@@ -1,0 +1,66 @@
+#include "render/spot_profile.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace dcsn::render {
+
+namespace {
+
+float shape_value(SpotShape shape, float r) {
+  // r is the distance from the spot center in units of the spot radius
+  // (r = 1 at the rim of the inscribed circle).
+  if (r >= 1.0f) return 0.0f;
+  switch (shape) {
+    case SpotShape::kDisc:
+      return 1.0f;
+    case SpotShape::kGaussian: {
+      // sigma = 1/2 of the radius; truncated at the rim.
+      const float s = r * 2.0f;
+      return std::exp(-0.5f * s * s);
+    }
+    case SpotShape::kCosine:
+      return 0.5f * (1.0f + std::cos(std::numbers::pi_v<float> * r));
+    case SpotShape::kRing: {
+      // Raised cosine bump centered at r = 0.5, width 0.5.
+      const float d = std::abs(r - 0.5f) * 4.0f;
+      return d >= 1.0f ? 0.0f
+                       : 0.5f * (1.0f + std::cos(std::numbers::pi_v<float> * d));
+    }
+  }
+  return 0.0f;
+}
+
+}  // namespace
+
+SpotProfile::SpotProfile(SpotShape shape, int resolution)
+    : shape_(shape), res_(resolution) {
+  DCSN_CHECK(resolution >= 2, "profile resolution must be at least 2");
+  table_.resize(static_cast<std::size_t>(res_) * static_cast<std::size_t>(res_));
+  double integral = 0.0;
+  for (int y = 0; y < res_; ++y) {
+    for (int x = 0; x < res_; ++x) {
+      const float u = (static_cast<float>(x) + 0.5f) / static_cast<float>(res_);
+      const float v = (static_cast<float>(y) + 0.5f) / static_cast<float>(res_);
+      const float dx = u - 0.5f;
+      const float dy = v - 0.5f;
+      const float r = 2.0f * std::sqrt(dx * dx + dy * dy);  // 1 at inscribed rim
+      const float value = shape_value(shape, r);
+      table_[static_cast<std::size_t>(y) * static_cast<std::size_t>(res_) +
+             static_cast<std::size_t>(x)] = value;
+      integral += value;
+    }
+  }
+  // Normalize energy: scale so the mean over the unit square is 0.25 (the
+  // disc's natural level ~ pi/4 / ~3). Keeps textures from different shapes
+  // at comparable contrast.
+  const double mean = integral / static_cast<double>(table_.size());
+  if (mean > 0.0) {
+    const auto scale = static_cast<float>(0.25 / mean);
+    for (float& v : table_) v *= scale;
+  }
+}
+
+}  // namespace dcsn::render

@@ -1,0 +1,67 @@
+// The spot function h(x): intensity profiles sampled as textures.
+//
+// A spot is "any geometric shape ... usually a small circle" (paper §1).
+// On the Onyx2 the spot was a texture map applied to the spot polygon; here
+// the profile is a precomputed table the rasterizer samples bilinearly —
+// the same role, same cost structure (one filtered texture fetch per
+// fragment). Profiles are immutable after construction and shared across
+// threads by shared_ptr (they are the pipe's "texture objects").
+#pragma once
+
+#include <memory>
+#include <vector>
+
+namespace dcsn::render {
+
+enum class SpotShape {
+  kDisc,      ///< hard-edged circle — van Wijk's original spot
+  kGaussian,  ///< exp(-r^2/2sigma^2) falloff, sigma = radius/2
+  kCosine,    ///< raised-cosine falloff, C1 at the rim
+  kRing,      ///< annulus, peak at r = 0.5 — used for filtered spot variants
+};
+
+class SpotProfile {
+ public:
+  /// Builds a `resolution`-squared table of the given shape. The profile's
+  /// support is the inscribed circle of the unit square; integral over the
+  /// square is normalized to a shape-independent constant so textures built
+  /// from different shapes have comparable energy.
+  SpotProfile(SpotShape shape, int resolution = 64);
+
+  /// Bilinear sample at (u, v) in [0,1]^2; zero outside.
+  [[nodiscard]] float sample(float u, float v) const {
+    if (u < 0.0f || u >= 1.0f || v < 0.0f || v >= 1.0f) return 0.0f;
+    const float fx = u * static_cast<float>(res_ - 1);
+    const float fy = v * static_cast<float>(res_ - 1);
+    const int x0 = static_cast<int>(fx);
+    const int y0 = static_cast<int>(fy);
+    const int x1 = x0 + 1 < res_ ? x0 + 1 : x0;
+    const int y1 = y0 + 1 < res_ ? y0 + 1 : y0;
+    const float tx = fx - static_cast<float>(x0);
+    const float ty = fy - static_cast<float>(y0);
+    const float a = at(x0, y0) + (at(x1, y0) - at(x0, y0)) * tx;
+    const float b = at(x0, y1) + (at(x1, y1) - at(x0, y1)) * tx;
+    return a + (b - a) * ty;
+  }
+
+  [[nodiscard]] SpotShape shape() const { return shape_; }
+  [[nodiscard]] int resolution() const { return res_; }
+
+  /// Shared immutable profile (a "texture object" bound via pipe state).
+  [[nodiscard]] static std::shared_ptr<const SpotProfile> make_shared(
+      SpotShape shape, int resolution = 64) {
+    return std::make_shared<const SpotProfile>(shape, resolution);
+  }
+
+ private:
+  [[nodiscard]] float at(int x, int y) const {
+    return table_[static_cast<std::size_t>(y) * static_cast<std::size_t>(res_) +
+                  static_cast<std::size_t>(x)];
+  }
+
+  SpotShape shape_;
+  int res_;
+  std::vector<float> table_;
+};
+
+}  // namespace dcsn::render

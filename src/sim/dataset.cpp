@@ -1,0 +1,155 @@
+#include "sim/dataset.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace dcsn::sim {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x44435344;  // "DCSD"
+
+template <class T>
+void write_pod(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <class T>
+T read_pod(std::istream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  DCSN_CHECK(in.good(), "unexpected end of dataset");
+  return v;
+}
+
+void write_axis(std::ostream& out, const std::vector<double>& axis) {
+  write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(axis.size()));
+  out.write(reinterpret_cast<const char*>(axis.data()),
+            static_cast<std::streamsize>(axis.size() * sizeof(double)));
+}
+
+std::vector<double> read_axis(std::istream& in) {
+  const auto n = read_pod<std::uint32_t>(in);
+  DCSN_CHECK(n >= 2 && n < (1u << 24), "implausible dataset axis length");
+  std::vector<double> axis(n);
+  in.read(reinterpret_cast<char*>(axis.data()),
+          static_cast<std::streamsize>(axis.size() * sizeof(double)));
+  DCSN_CHECK(in.good(), "unexpected end of dataset");
+  return axis;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- writer ---
+
+DatasetWriter::DatasetWriter(std::string path, const field::RectilinearGrid& grid)
+    : path_(std::move(path)), out_(path_, std::ios::binary), grid_(grid) {
+  DCSN_CHECK(out_.good(), "cannot open dataset for writing: " + path_);
+  write_pod(out_, kMagic);
+  write_pod<std::int64_t>(out_, 0);  // frame count patched by close()
+  write_axis(out_, grid_.xs());
+  write_axis(out_, grid_.ys());
+}
+
+DatasetWriter::~DatasetWriter() { close(); }
+
+void DatasetWriter::append(const field::RectilinearVectorField& snapshot,
+                           double time) {
+  DCSN_CHECK(!closed_, "dataset already closed");
+  DCSN_CHECK(snapshot.grid().nx() == grid_.nx() && snapshot.grid().ny() == grid_.ny(),
+             "snapshot grid does not match the dataset grid");
+  write_pod(out_, time);
+  const auto samples = snapshot.samples();
+  out_.write(reinterpret_cast<const char*>(samples.data()),
+             static_cast<std::streamsize>(samples.size() * sizeof(field::Vec2)));
+  DCSN_CHECK(out_.good(), "short write to dataset: " + path_);
+  ++frames_;
+}
+
+void DatasetWriter::close() {
+  if (closed_) return;
+  closed_ = true;
+  out_.seekp(sizeof(kMagic));
+  write_pod<std::int64_t>(out_, frames_);
+  out_.close();
+}
+
+// ---------------------------------------------------------------- reader ---
+
+DatasetReader::DatasetReader(const std::string& path) : in_(path, std::ios::binary) {
+  DCSN_CHECK(in_.good(), "cannot open dataset: " + path);
+  DCSN_CHECK(read_pod<std::uint32_t>(in_) == kMagic, "not a dcsn dataset: " + path);
+  frames_ = read_pod<std::int64_t>(in_);
+  auto xs = read_axis(in_);
+  auto ys = read_axis(in_);
+  grid_ = field::RectilinearGrid(std::move(xs), std::move(ys));
+  data_begin_ = in_.tellg();
+  frame_bytes_ = static_cast<std::streamoff>(
+      sizeof(double) + grid_.sample_count() * sizeof(field::Vec2));
+}
+
+void DatasetReader::seek_frame(std::int64_t index) {
+  DCSN_CHECK(index >= 0 && index < frames_, "dataset frame index out of range");
+  in_.clear();
+  in_.seekg(data_begin_ + index * frame_bytes_);
+}
+
+field::RectilinearVectorField DatasetReader::load(std::int64_t index) {
+  seek_frame(index);
+  (void)read_pod<double>(in_);  // time
+  std::vector<field::Vec2> data(grid_.sample_count());
+  in_.read(reinterpret_cast<char*>(data.data()),
+           static_cast<std::streamsize>(data.size() * sizeof(field::Vec2)));
+  DCSN_CHECK(in_.good(), "truncated dataset frame");
+  return {grid_, std::move(data)};
+}
+
+double DatasetReader::time_of(std::int64_t index) {
+  seek_frame(index);
+  return read_pod<double>(in_);
+}
+
+// --------------------------------------------------------------- browser ---
+
+DataBrowser::DataBrowser(DatasetReader& reader, std::size_t cache_frames)
+    : reader_(reader), capacity_(std::max<std::size_t>(1, cache_frames)) {
+  DCSN_CHECK(reader.frame_count() > 0, "cannot browse an empty dataset");
+}
+
+const field::RectilinearVectorField& DataBrowser::fetch(std::int64_t frame) {
+  const auto it = std::find_if(cache_.begin(), cache_.end(),
+                               [frame](const auto& e) { return e.first == frame; });
+  if (it != cache_.end()) {
+    ++hits_;
+    cache_.splice(cache_.begin(), cache_, it);  // move to front
+    return cache_.front().second;
+  }
+  ++misses_;
+  cache_.emplace_front(frame, reader_.load(frame));
+  if (cache_.size() > capacity_) cache_.pop_back();
+  return cache_.front().second;
+}
+
+const field::RectilinearVectorField& DataBrowser::current() {
+  return fetch(position_);
+}
+
+double DataBrowser::current_time() { return reader_.time_of(position_); }
+
+void DataBrowser::step() {
+  const std::int64_t n = reader_.frame_count();
+  if (direction_ == Direction::kForward) {
+    position_ = (position_ + 1) % n;
+  } else {
+    position_ = (position_ + n - 1) % n;
+  }
+}
+
+void DataBrowser::seek(std::int64_t frame) {
+  DCSN_CHECK(frame >= 0 && frame < reader_.frame_count(),
+             "seek target out of range");
+  position_ = frame;
+}
+
+}  // namespace dcsn::sim

@@ -1,0 +1,108 @@
+// The scientific database and its browser (paper §5.2).
+//
+// The DNS application writes snapshots to disk for weeks, producing
+// terabytes; the paper's browser "allows the user to first select
+// visualization mappings and then play through any part of the data base".
+// Dataset is that store at laptop scale: an append-only file of fixed-size
+// rectilinear field snapshots with O(1) random access by frame number.
+// DataBrowser adds the playback state (position, direction, looping) and a
+// small LRU cache so scrubbing back and forth does not re-read the file.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <list>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "field/grid_field.hpp"
+
+namespace dcsn::sim {
+
+/// Appends snapshots to a dataset file. All snapshots share one grid.
+class DatasetWriter {
+ public:
+  DatasetWriter(std::string path, const field::RectilinearGrid& grid);
+  ~DatasetWriter();
+
+  DatasetWriter(const DatasetWriter&) = delete;
+  DatasetWriter& operator=(const DatasetWriter&) = delete;
+
+  /// Appends one snapshot taken at simulation time `time`.
+  void append(const field::RectilinearVectorField& snapshot, double time);
+
+  /// Flushes and finalizes the header. Called by the destructor too.
+  void close();
+
+  [[nodiscard]] std::int64_t frames_written() const { return frames_; }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  field::RectilinearGrid grid_;
+  std::int64_t frames_ = 0;
+  bool closed_ = false;
+};
+
+/// Random-access reader.
+class DatasetReader {
+ public:
+  explicit DatasetReader(const std::string& path);
+
+  [[nodiscard]] std::int64_t frame_count() const { return frames_; }
+  [[nodiscard]] const field::RectilinearGrid& grid() const { return grid_; }
+
+  /// Loads frame `index` (0-based). Throws util::Error on bad index.
+  [[nodiscard]] field::RectilinearVectorField load(std::int64_t index);
+
+  /// Simulation time of frame `index`.
+  [[nodiscard]] double time_of(std::int64_t index);
+
+ private:
+  void seek_frame(std::int64_t index);
+
+  std::ifstream in_;
+  field::RectilinearGrid grid_;
+  std::int64_t frames_ = 0;
+  std::streamoff data_begin_ = 0;
+  std::streamoff frame_bytes_ = 0;
+};
+
+/// Playback over a DatasetReader with an LRU frame cache.
+class DataBrowser {
+ public:
+  enum class Direction { kForward, kBackward };
+
+  DataBrowser(DatasetReader& reader, std::size_t cache_frames = 8);
+
+  /// The frame at the current position (cached).
+  [[nodiscard]] const field::RectilinearVectorField& current();
+
+  [[nodiscard]] std::int64_t position() const { return position_; }
+  [[nodiscard]] double current_time();
+
+  /// Steps one frame in the playback direction, wrapping around.
+  void step();
+  void seek(std::int64_t frame);
+  void set_direction(Direction d) { direction_ = d; }
+  [[nodiscard]] Direction direction() const { return direction_; }
+
+  [[nodiscard]] std::size_t cache_hits() const { return hits_; }
+  [[nodiscard]] std::size_t cache_misses() const { return misses_; }
+
+ private:
+  const field::RectilinearVectorField& fetch(std::int64_t frame);
+
+  DatasetReader& reader_;
+  std::size_t capacity_;
+  // LRU: most recently used at the front.
+  std::list<std::pair<std::int64_t, field::RectilinearVectorField>> cache_;
+  std::int64_t position_ = 0;
+  Direction direction_ = Direction::kForward;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+}  // namespace dcsn::sim

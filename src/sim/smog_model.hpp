@@ -1,0 +1,96 @@
+// The atmospheric pollution substrate (paper §5.1).
+//
+// The paper steers a smog prediction model (ref [6]) and visualizes its
+// wind field with spot noise, the pollutant superimposed in color. That
+// model and its data are not available, so this is the closest synthetic
+// equivalent exercising the same code path (see DESIGN.md §2):
+//
+//   * wind — a synthetic weather system: a steady westerly base flow plus
+//     rotating (geostrophic) winds around a handful of moving pressure
+//     systems, sampled onto the paper's 53x55 regular grid every step;
+//   * pollution — advection-diffusion-reaction of two species on the same
+//     grid: an emitted precursor (think NOx) and a secondary pollutant
+//     (think O3) produced from the precursor photochemically;
+//   * steering — emission rates, wind parameters and diffusivity are
+//     mutable between steps, exactly the user-controllable parameters of
+//     the computational steering application.
+#pragma once
+
+#include <vector>
+
+#include "field/grid_field.hpp"
+#include "field/scalar_field.hpp"
+#include "util/rng.hpp"
+
+namespace dcsn::sim {
+
+enum class Species : int { kPrecursor = 0, kOzone = 1 };
+
+struct EmissionSource {
+  field::Vec2 position;
+  double rate = 1.0;  ///< concentration units per hour
+};
+
+struct SmogParams {
+  int nx = 53;  ///< the paper's grid
+  int ny = 55;
+  field::Rect domain{0.0, 0.0, 1060.0, 1100.0};  ///< km, continental scale
+
+  // Wind model.
+  field::Vec2 base_wind{30.0, 5.0};  ///< km/h, prevailing westerly
+  int pressure_systems = 3;
+  double system_strength = 55.0;   ///< km/h peak rotational wind
+  double system_radius = 250.0;    ///< km
+  double system_speed = 40.0;      ///< km/h drift of the systems
+
+  // Pollution model.
+  double diffusivity = 15.0;       ///< km^2/h
+  double photo_rate = 0.35;        ///< precursor -> ozone conversion, 1/h
+  double precursor_decay = 0.08;   ///< deposition, 1/h
+  double ozone_decay = 0.05;       ///< 1/h
+
+  std::uint64_t seed = 7;
+};
+
+class SmogModel {
+ public:
+  explicit SmogModel(SmogParams params);
+
+  /// Advances weather and chemistry by `dt` hours (internally substepped to
+  /// respect the advection CFL limit).
+  void step(double dt);
+
+  /// Steering entry points — callable between steps, take effect next step.
+  void set_base_wind(field::Vec2 wind) { params_.base_wind = wind; }
+  void set_diffusivity(double d) { params_.diffusivity = d; }
+  void set_photo_rate(double r) { params_.photo_rate = r; }
+  void add_source(EmissionSource source) { sources_.push_back(source); }
+  void set_source_rate(std::size_t index, double rate);
+  [[nodiscard]] const std::vector<EmissionSource>& sources() const { return sources_; }
+
+  [[nodiscard]] const field::GridVectorField& wind() const { return wind_; }
+  [[nodiscard]] const field::ScalarField& concentration(Species s) const {
+    return concentration_[static_cast<std::size_t>(s)];
+  }
+  [[nodiscard]] double time_hours() const { return time_; }
+  [[nodiscard]] const SmogParams& params() const { return params_; }
+
+ private:
+  void update_wind();
+  void advect_diffuse_react(double dt);
+
+  SmogParams params_;
+  field::GridVectorField wind_;
+  std::array<field::ScalarField, 2> concentration_;
+  std::array<field::ScalarField, 2> scratch_;
+  std::vector<EmissionSource> sources_;
+  struct PressureSystem {
+    field::Vec2 position;
+    field::Vec2 drift;
+    double sign;  ///< +1 cyclone, -1 anticyclone
+  };
+  std::vector<PressureSystem> systems_;
+  double time_ = 0.0;
+};
+
+}  // namespace dcsn::sim

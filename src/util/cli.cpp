@@ -1,0 +1,41 @@
+#include "util/cli.hpp"
+
+#include <string_view>
+
+namespace dcsn::util {
+
+Args::Args(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    if (!arg.starts_with("--")) continue;
+    arg.remove_prefix(2);
+    const auto eq = arg.find('=');
+    if (eq == std::string_view::npos) {
+      values_.emplace(std::string(arg), "");
+    } else {
+      values_.emplace(std::string(arg.substr(0, eq)), std::string(arg.substr(eq + 1)));
+    }
+  }
+}
+
+bool Args::has(const std::string& key) const { return values_.contains(key); }
+
+int Args::get_int(const std::string& key, int fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end() || it->second.empty()) return fallback;
+  return std::stoi(it->second);
+}
+
+double Args::get_double(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end() || it->second.empty()) return fallback;
+  return std::stod(it->second);
+}
+
+std::string Args::get_string(const std::string& key, std::string fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end() || it->second.empty()) return fallback;
+  return it->second;
+}
+
+}  // namespace dcsn::util

@@ -1,0 +1,26 @@
+// Minimal command-line parsing for benches and examples.
+//
+// Accepts `--key=value` and bare `--flag` arguments. Benches must run with
+// no arguments (the harness invokes them bare), so every option has a
+// default; flags like --full unlock longer sweeps.
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace dcsn::util {
+
+class Args {
+ public:
+  Args(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] int get_int(const std::string& key, int fallback) const;
+  [[nodiscard]] double get_double(const std::string& key, double fallback) const;
+  [[nodiscard]] std::string get_string(const std::string& key, std::string fallback) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace dcsn::util

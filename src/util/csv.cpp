@@ -1,0 +1,38 @@
+#include "util/csv.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace dcsn::util {
+
+CsvWriter::CsvWriter(const std::string& path, std::initializer_list<std::string> columns)
+    : out_(path), columns_(columns.size()) {
+  bool first = true;
+  for (const auto& c : columns) {
+    if (!first) out_ << ',';
+    out_ << c;
+    first = false;
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row(std::initializer_list<std::string> cells) {
+  DCSN_CHECK(cells.size() == columns_, "CSV row width must match header");
+  bool first = true;
+  for (const auto& c : cells) {
+    if (!first) out_ << ',';
+    out_ << c;
+    first = false;
+  }
+  out_ << '\n';
+}
+
+std::string CsvWriter::num(double v) {
+  std::ostringstream os;
+  os.precision(6);
+  os << v;
+  return os.str();
+}
+
+}  // namespace dcsn::util

@@ -1,0 +1,32 @@
+// CSV output for benchmark results.
+//
+// Every table/figure bench writes its measurements next to the printed table
+// so EXPERIMENTS.md entries can be regenerated mechanically.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace dcsn::util {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  CsvWriter(const std::string& path, std::initializer_list<std::string> columns);
+
+  /// Appends one row; the cell count must match the header.
+  void row(std::initializer_list<std::string> cells);
+
+  /// Convenience: formats doubles with 6 significant digits.
+  static std::string num(double v);
+
+  [[nodiscard]] bool ok() const { return static_cast<bool>(out_); }
+
+ private:
+  std::ofstream out_;
+  std::size_t columns_;
+};
+
+}  // namespace dcsn::util

@@ -1,0 +1,38 @@
+// Error handling: precondition checks that survive release builds.
+//
+// DCSN_CHECK throws on violated runtime preconditions (bad sizes, bad
+// configuration) — these are user-reachable and must not be compiled out.
+// assert() remains for internal invariants.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dcsn::util {
+
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace dcsn::util
+
+/// Throws dcsn::util::Error when `expr` is false. Always active.
+#define DCSN_CHECK(expr, msg)                                                \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      ::dcsn::util::detail::throw_check_failure(#expr, __FILE__, __LINE__,   \
+                                                (msg));                      \
+    }                                                                        \
+  } while (false)

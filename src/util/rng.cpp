@@ -1,0 +1,3 @@
+#include "util/rng.hpp"
+
+// Header-only; this translation unit anchors the library target.

@@ -1,0 +1,139 @@
+// Deterministic pseudo-random number generation for spot noise.
+//
+// Spot noise is a stochastic texture: every spot has a random position and a
+// zero-mean random intensity (van Wijk '91, eq. f(x) = sum a_i h(x - x_i)).
+// Reproducibility of images and tests requires explicit, splittable seeding,
+// so the library never touches global RNG state. The generator is
+// xoshiro256++ (Blackman & Vigna), seeded via splitmix64; `split()` derives
+// statistically independent child streams so each process group of the
+// divide-and-conquer engine can draw its spots without synchronization.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+
+namespace dcsn::util {
+
+/// xoshiro256++ generator with splitmix64 seeding and stream splitting.
+/// Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four 64-bit words of state from a single seed via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    for (auto& word : state_) word = splitmix64(seed);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+  /// Next raw 64-bit draw (xoshiro256++ step).
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  [[nodiscard]] double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform float in [0, 1).
+  [[nodiscard]] float uniform_f() noexcept {
+    return static_cast<float>((*this)() >> 40) * 0x1.0p-24f;
+  }
+
+  /// Uniform integer index in [0, n). n must be positive.
+  [[nodiscard]] std::int64_t index(std::int64_t n) noexcept {
+    // Lemire's multiply-shift rejection-free variant is overkill here; the
+    // bias for n << 2^64 is negligible for texture synthesis.
+    return static_cast<std::int64_t>((*this)() % static_cast<std::uint64_t>(n));
+  }
+
+  /// Zero-mean spot intensity: uniform in [-1, 1]. This is the a_i of the
+  /// spot-noise definition; zero mean keeps the texture's DC level flat.
+  [[nodiscard]] double intensity() noexcept { return uniform(-1.0, 1.0); }
+
+  /// Standard normal draw (Box–Muller with caching).
+  [[nodiscard]] double normal() noexcept {
+    if (has_cached_) {
+      has_cached_ = false;
+      return cached_;
+    }
+    double u1 = uniform();
+    const double u2 = uniform();
+    if (u1 <= 0.0) u1 = 0x1.0p-53;  // avoid log(0)
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * std::numbers::pi * u2;
+    cached_ = r * std::sin(theta);
+    has_cached_ = true;
+    return r * std::cos(theta);
+  }
+
+  /// Normal draw with given mean and standard deviation.
+  [[nodiscard]] double normal(double mean, double stddev) noexcept {
+    return mean + stddev * normal();
+  }
+
+  /// Derives an independent child stream. Equivalent to seeding a fresh
+  /// generator from this one, then applying the xoshiro jump polynomial so
+  /// parent and child sequences do not overlap in practice.
+  [[nodiscard]] Rng split() noexcept {
+    Rng child((*this)());
+    child.jump();
+    return child;
+  }
+
+  /// Advances the state by 2^128 steps (the canonical xoshiro jump).
+  void jump() noexcept {
+    static constexpr std::array<std::uint64_t, 4> kJump = {
+        0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL,
+        0xa9582618e03fc9aaULL, 0x39abdc4529b1661cULL};
+    std::array<std::uint64_t, 4> acc = {0, 0, 0, 0};
+    for (const std::uint64_t word : kJump) {
+      for (int bit = 0; bit < 64; ++bit) {
+        if (word & (std::uint64_t{1} << bit)) {
+          for (int i = 0; i < 4; ++i) acc[static_cast<std::size_t>(i)] ^= state_[static_cast<std::size_t>(i)];
+        }
+        (*this)();
+      }
+    }
+    state_ = acc;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  static std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+  double cached_ = 0.0;
+  bool has_cached_ = false;
+};
+
+}  // namespace dcsn::util

@@ -1,0 +1,68 @@
+// Non-owning 2D view over contiguous row-major storage.
+//
+// Textures, framebuffers and simulation grids all share this access pattern;
+// Span2D gives them bounds-checked (in debug) indexed access without copying
+// and without committing to a particular container.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+
+namespace dcsn::util {
+
+/// Row-major 2D view: element (x, y) lives at data[y * stride + x].
+/// `stride` >= width allows views into sub-rectangles (texture tiles).
+template <class T>
+class Span2D {
+ public:
+  constexpr Span2D() noexcept = default;
+
+  constexpr Span2D(T* data, int width, int height) noexcept
+      : Span2D(data, width, height, width) {}
+
+  constexpr Span2D(T* data, int width, int height, int stride) noexcept
+      : data_(data), width_(width), height_(height), stride_(stride) {
+    assert(width >= 0 && height >= 0 && stride >= width);
+  }
+
+  [[nodiscard]] constexpr int width() const noexcept { return width_; }
+  [[nodiscard]] constexpr int height() const noexcept { return height_; }
+  [[nodiscard]] constexpr int stride() const noexcept { return stride_; }
+  [[nodiscard]] constexpr T* data() const noexcept { return data_; }
+  [[nodiscard]] constexpr bool empty() const noexcept { return width_ == 0 || height_ == 0; }
+
+  [[nodiscard]] constexpr T& operator()(int x, int y) const noexcept {
+    assert(x >= 0 && x < width_ && y >= 0 && y < height_);
+    return data_[static_cast<std::ptrdiff_t>(y) * stride_ + x];
+  }
+
+  /// One row as a contiguous span.
+  [[nodiscard]] constexpr std::span<T> row(int y) const noexcept {
+    assert(y >= 0 && y < height_);
+    return {data_ + static_cast<std::ptrdiff_t>(y) * stride_,
+            static_cast<std::size_t>(width_)};
+  }
+
+  /// Rectangular sub-view. The rectangle must lie inside the span.
+  [[nodiscard]] constexpr Span2D subview(int x0, int y0, int w, int h) const noexcept {
+    assert(x0 >= 0 && y0 >= 0 && w >= 0 && h >= 0);
+    assert(x0 + w <= width_ && y0 + h <= height_);
+    return {data_ + static_cast<std::ptrdiff_t>(y0) * stride_ + x0, w, h, stride_};
+  }
+
+  /// Implicit conversion to a const view.
+  constexpr operator Span2D<const T>() const noexcept
+    requires(!std::is_const_v<T>)
+  {
+    return {data_, width_, height_, stride_};
+  }
+
+ private:
+  T* data_ = nullptr;
+  int width_ = 0;
+  int height_ = 0;
+  int stride_ = 0;
+};
+
+}  // namespace dcsn::util

@@ -1,0 +1,71 @@
+// Wall-clock timing for the benchmark harness and the performance model.
+//
+// The divide-and-conquer engine needs two kinds of measurement: end-to-end
+// frame times (Stopwatch) and per-component accumulated busy time such as
+// genP / genT from the paper's eq. 2.1 (Accumulator + ScopedTimer).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace dcsn::util {
+
+/// Monotonic stopwatch. Started on construction.
+class Stopwatch {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Stopwatch() noexcept : start_(Clock::now()) {}
+
+  void restart() noexcept { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last restart().
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double millis() const noexcept { return seconds() * 1e3; }
+  [[nodiscard]] double micros() const noexcept { return seconds() * 1e6; }
+
+ private:
+  Clock::time_point start_;
+};
+
+/// Accumulates busy time across many short intervals, e.g. total genP over
+/// all spots handled by one worker. Single-writer; aggregate across workers
+/// by summing the per-worker accumulators after a frame.
+class TimeAccumulator {
+ public:
+  void add_seconds(double s) noexcept {
+    total_ += s;
+    ++intervals_;
+  }
+
+  void reset() noexcept {
+    total_ = 0.0;
+    intervals_ = 0;
+  }
+
+  [[nodiscard]] double seconds() const noexcept { return total_; }
+  [[nodiscard]] std::int64_t intervals() const noexcept { return intervals_; }
+
+ private:
+  double total_ = 0.0;
+  std::int64_t intervals_ = 0;
+};
+
+/// RAII interval timer: adds the scope's duration to an accumulator.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(TimeAccumulator& acc) noexcept : acc_(acc) {}
+  ~ScopedTimer() { acc_.add_seconds(watch_.seconds()); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  TimeAccumulator& acc_;
+  Stopwatch watch_;
+};
+
+}  // namespace dcsn::util

@@ -1,0 +1,20 @@
+#include "util/threading.hpp"
+
+#include <pthread.h>
+
+#include <thread>
+
+namespace dcsn::util {
+
+int hardware_threads() noexcept {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+void set_current_thread_name(const std::string& name) noexcept {
+  // Linux limits thread names to 15 characters + NUL.
+  std::string truncated = name.substr(0, 15);
+  (void)pthread_setname_np(pthread_self(), truncated.c_str());
+}
+
+}  // namespace dcsn::util

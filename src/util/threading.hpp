@@ -1,0 +1,50 @@
+// Thread utilities for the process-group runtime.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace dcsn::util {
+
+/// Number of hardware threads, at least 1.
+[[nodiscard]] int hardware_threads() noexcept;
+
+/// Best-effort thread naming (visible in debuggers/profilers). No-op on
+/// failure.
+void set_current_thread_name(const std::string& name) noexcept;
+
+/// Chunked dynamic work distribution over [0, total): each claim() returns a
+/// half-open range of at most `chunk` items, or an empty range when done.
+/// This is the load balancer inside a process group — spots are independent
+/// and uniform (the paper's observation), so chunked self-scheduling keeps
+/// all workers busy without a central scheduler.
+class WorkCounter {
+ public:
+  struct Range {
+    std::int64_t begin = 0;
+    std::int64_t end = 0;
+    [[nodiscard]] bool empty() const noexcept { return begin >= end; }
+    [[nodiscard]] std::int64_t size() const noexcept { return end - begin; }
+  };
+
+  WorkCounter(std::int64_t total, std::int64_t chunk) noexcept
+      : total_(total), chunk_(chunk > 0 ? chunk : 1) {}
+
+  [[nodiscard]] Range claim() noexcept {
+    const std::int64_t begin = next_.fetch_add(chunk_, std::memory_order_relaxed);
+    if (begin >= total_) return {};
+    return {begin, begin + chunk_ < total_ ? begin + chunk_ : total_};
+  }
+
+  void reset() noexcept { next_.store(0, std::memory_order_relaxed); }
+
+  [[nodiscard]] std::int64_t total() const noexcept { return total_; }
+
+ private:
+  std::int64_t total_;
+  std::int64_t chunk_;
+  std::atomic<std::int64_t> next_{0};
+};
+
+}  // namespace dcsn::util

@@ -1,0 +1,386 @@
+// Unit tests for the field layer: grids, interpolation, analytic fields,
+// derived quantities, serialization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <sstream>
+
+#include "field/analytic.hpp"
+#include "field/field_io.hpp"
+#include "field/field_ops.hpp"
+#include "field/grid.hpp"
+#include "field/grid_field.hpp"
+#include "field/scalar_field.hpp"
+#include "field/vec2.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dcsn;
+using field::Rect;
+using field::Vec2;
+
+// ------------------------------------------------------------------- Vec2 ---
+
+TEST(Vec2, Arithmetic) {
+  const Vec2 a{1.0, 2.0};
+  const Vec2 b{3.0, -1.0};
+  EXPECT_EQ(a + b, Vec2(4.0, 1.0));
+  EXPECT_EQ(a - b, Vec2(-2.0, 3.0));
+  EXPECT_EQ(a * 2.0, Vec2(2.0, 4.0));
+  EXPECT_EQ(2.0 * a, Vec2(2.0, 4.0));
+  EXPECT_EQ(-a, Vec2(-1.0, -2.0));
+  EXPECT_DOUBLE_EQ(a.dot(b), 1.0);
+  EXPECT_DOUBLE_EQ(a.cross(b), -7.0);
+}
+
+TEST(Vec2, LengthAndNormalize) {
+  const Vec2 v{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(v.length(), 5.0);
+  EXPECT_DOUBLE_EQ(v.length_sq(), 25.0);
+  const Vec2 n = v.normalized();
+  EXPECT_NEAR(n.length(), 1.0, 1e-12);
+  EXPECT_EQ(Vec2{}.normalized(), Vec2{});  // zero vector stays zero, no NaN
+}
+
+TEST(Vec2, PerpIsCounterclockwise) {
+  const Vec2 v{1.0, 0.0};
+  EXPECT_EQ(v.perp(), Vec2(0.0, 1.0));
+  EXPECT_DOUBLE_EQ(v.dot(v.perp()), 0.0);
+}
+
+TEST(Vec2, Lerp) {
+  EXPECT_EQ(lerp(Vec2(0, 0), Vec2(2, 4), 0.5), Vec2(1, 2));
+  EXPECT_EQ(lerp(Vec2(1, 1), Vec2(3, 3), 0.0), Vec2(1, 1));
+  EXPECT_EQ(lerp(Vec2(1, 1), Vec2(3, 3), 1.0), Vec2(3, 3));
+}
+
+TEST(RectTest, ContainsAndClamp) {
+  const Rect r{0.0, 0.0, 2.0, 1.0};
+  EXPECT_TRUE(r.contains({1.0, 0.5}));
+  EXPECT_TRUE(r.contains({0.0, 0.0}));  // inclusive edges
+  EXPECT_FALSE(r.contains({2.1, 0.5}));
+  EXPECT_EQ(r.clamp({3.0, -1.0}), Vec2(2.0, 0.0));
+  EXPECT_EQ(r.center(), Vec2(1.0, 0.5));
+  EXPECT_EQ(r.at(0.5, 0.5), Vec2(1.0, 0.5));
+}
+
+// ----------------------------------------------------------- RegularGrid ---
+
+TEST(RegularGrid, GeometryAndIndexing) {
+  const field::RegularGrid g(11, 6, Rect{0.0, 0.0, 10.0, 5.0});
+  EXPECT_DOUBLE_EQ(g.dx(), 1.0);
+  EXPECT_DOUBLE_EQ(g.dy(), 1.0);
+  EXPECT_EQ(g.position(3, 2), Vec2(3.0, 2.0));
+  EXPECT_EQ(g.sample_count(), 66u);
+  EXPECT_EQ(g.linear_index(3, 2), 2u * 11u + 3u);
+}
+
+TEST(RegularGrid, LocateInterior) {
+  const field::RegularGrid g(11, 11, Rect{0.0, 0.0, 10.0, 10.0});
+  const auto c = g.locate({3.25, 7.5});
+  EXPECT_EQ(c.i, 3);
+  EXPECT_EQ(c.j, 7);
+  EXPECT_NEAR(c.fx, 0.25, 1e-12);
+  EXPECT_NEAR(c.fy, 0.5, 1e-12);
+}
+
+TEST(RegularGrid, LocateClampsOutside) {
+  const field::RegularGrid g(11, 11, Rect{0.0, 0.0, 10.0, 10.0});
+  const auto lo = g.locate({-5.0, -5.0});
+  EXPECT_EQ(lo.i, 0);
+  EXPECT_EQ(lo.j, 0);
+  EXPECT_DOUBLE_EQ(lo.fx, 0.0);
+  const auto hi = g.locate({15.0, 15.0});
+  EXPECT_EQ(hi.i, 9);  // last cell
+  EXPECT_DOUBLE_EQ(hi.fx, 1.0);
+}
+
+TEST(RegularGrid, RejectsDegenerate) {
+  EXPECT_THROW(field::RegularGrid(1, 5, Rect{0, 0, 1, 1}), util::Error);
+  EXPECT_THROW(field::RegularGrid(5, 5, Rect{0, 0, 0, 1}), util::Error);
+}
+
+// -------------------------------------------------------- RectilinearGrid ---
+
+TEST(RectilinearGrid, LocateInStretchedAxis) {
+  field::RectilinearGrid g({0.0, 1.0, 3.0, 7.0}, {0.0, 2.0, 4.0});
+  const auto c = g.locate({4.0, 3.0});
+  EXPECT_EQ(c.i, 2);  // interval [3, 7]
+  EXPECT_EQ(c.j, 1);  // interval [2, 4]
+  EXPECT_NEAR(c.fx, 0.25, 1e-12);
+  EXPECT_NEAR(c.fy, 0.5, 1e-12);
+}
+
+TEST(RectilinearGrid, RejectsUnsortedAxes) {
+  EXPECT_THROW(field::RectilinearGrid({0.0, 2.0, 1.0}, {0.0, 1.0}), util::Error);
+  EXPECT_THROW(field::RectilinearGrid({0.0, 0.0, 1.0}, {0.0, 1.0}), util::Error);
+}
+
+TEST(RectilinearGrid, StretchedAxisProperties) {
+  const auto axis = field::RectilinearGrid::stretched_axis(50, 0.0, 10.0, 0.3, 3.0);
+  ASSERT_EQ(axis.size(), 50u);
+  EXPECT_DOUBLE_EQ(axis.front(), 0.0);
+  EXPECT_DOUBLE_EQ(axis.back(), 10.0);
+  for (std::size_t k = 1; k < axis.size(); ++k) EXPECT_GT(axis[k], axis[k - 1]);
+  // Spacing near the focus should be finer than at the far end.
+  const double near_focus = axis[16] - axis[15];  // ~focus * n
+  const double far_away = axis[49] - axis[48];
+  EXPECT_LT(near_focus, far_away);
+}
+
+// --------------------------------------------------------- GridVectorField ---
+
+TEST(GridVectorField, BilinearInterpolationIsExactForLinearFields) {
+  // A bilinear interpolant reproduces any field linear in x and y exactly.
+  const field::RegularGrid g(8, 8, Rect{0.0, 0.0, 7.0, 7.0});
+  field::GridVectorField f(g);
+  f.fill([](Vec2 p) { return Vec2{2.0 * p.x - p.y, 0.5 * p.y + 1.0}; });
+  util::Rng rng(3);
+  for (int k = 0; k < 200; ++k) {
+    const Vec2 p{rng.uniform(0.0, 7.0), rng.uniform(0.0, 7.0)};
+    const Vec2 v = f.sample(p);
+    EXPECT_NEAR(v.x, 2.0 * p.x - p.y, 1e-9);
+    EXPECT_NEAR(v.y, 0.5 * p.y + 1.0, 1e-9);
+  }
+}
+
+TEST(GridVectorField, SampleAtNodesMatchesData) {
+  const field::RegularGrid g(5, 4, Rect{0.0, 0.0, 4.0, 3.0});
+  field::GridVectorField f(g);
+  f.at(2, 1) = {5.0, -3.0};
+  f.invalidate_max();
+  EXPECT_EQ(f.sample({2.0, 1.0}), Vec2(5.0, -3.0));
+}
+
+TEST(GridVectorField, ClampsOutsideDomain) {
+  const field::RegularGrid g(4, 4, Rect{0.0, 0.0, 3.0, 3.0});
+  field::GridVectorField f(g);
+  f.fill([](Vec2 p) { return Vec2{p.x, 0.0}; });
+  EXPECT_NEAR(f.sample({-10.0, 1.0}).x, 0.0, 1e-12);
+  EXPECT_NEAR(f.sample({10.0, 1.0}).x, 3.0, 1e-12);
+}
+
+TEST(GridVectorField, MaxMagnitudeTracksData) {
+  const field::RegularGrid g(4, 4, Rect{0.0, 0.0, 1.0, 1.0});
+  field::GridVectorField f(g);
+  EXPECT_DOUBLE_EQ(f.max_magnitude(), 0.0);
+  f.at(1, 2) = {3.0, 4.0};
+  f.invalidate_max();
+  EXPECT_DOUBLE_EQ(f.max_magnitude(), 5.0);
+}
+
+TEST(GridVectorField, RejectsMismatchedData) {
+  const field::RegularGrid g(4, 4, Rect{0.0, 0.0, 1.0, 1.0});
+  EXPECT_THROW(field::GridVectorField(g, std::vector<Vec2>(5)), util::Error);
+}
+
+TEST(RectilinearVectorField, InterpolatesOnStretchedGrid) {
+  field::RectilinearGrid g({0.0, 1.0, 4.0}, {0.0, 2.0, 3.0});
+  field::RectilinearVectorField f(g);
+  f.fill([](Vec2 p) { return Vec2{p.x + p.y, p.x * 0.0}; });
+  // Linear field reproduced exactly despite non-uniform spacing.
+  EXPECT_NEAR(f.sample({2.5, 2.5}).x, 5.0, 1e-9);
+}
+
+// ---------------------------------------------------------- analytic zoo ---
+
+TEST(Analytic, UniformFieldIsConstant) {
+  const auto f = field::analytic::uniform({2.0, -1.0}, Rect{0, 0, 1, 1});
+  EXPECT_EQ(f->sample({0.3, 0.7}), Vec2(2.0, -1.0));
+  EXPECT_DOUBLE_EQ(f->max_magnitude(), std::hypot(2.0, -1.0));
+}
+
+TEST(Analytic, ShearProfile) {
+  const auto f = field::analytic::shear(2.0, Rect{0, 0, 1, 1});
+  EXPECT_NEAR(f->sample({0.5, 0.5}).x, 0.0, 1e-12);  // center line
+  EXPECT_NEAR(f->sample({0.5, 1.0}).x, 1.0, 1e-12);
+  EXPECT_NEAR(f->sample({0.5, 0.0}).x, -1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(f->sample({0.5, 0.8}).y, 0.0);
+}
+
+TEST(Analytic, RigidVortexIsTangential) {
+  const Vec2 center{0.5, 0.5};
+  const auto f = field::analytic::rigid_vortex(center, 2.0, Rect{0, 0, 1, 1});
+  const Vec2 p{0.8, 0.5};
+  const Vec2 v = f->sample(p);
+  EXPECT_NEAR(v.dot(p - center), 0.0, 1e-12);      // tangential
+  EXPECT_NEAR(v.length(), 2.0 * 0.3, 1e-12);       // omega * r
+  EXPECT_GT((p - center).cross(v), 0.0);           // counterclockwise
+}
+
+TEST(Analytic, RankineVortexPeaksAtCore) {
+  const Vec2 c{0.0, 0.0};
+  const Rect domain{-2, -2, 2, 2};
+  const auto f = field::analytic::rankine_vortex(c, 2.0 * std::numbers::pi, 0.5, domain);
+  const double v_inside = f->sample({0.25, 0.0}).length();
+  const double v_core = f->sample({0.5, 0.0}).length();
+  const double v_outside = f->sample({1.0, 0.0}).length();
+  EXPECT_LT(v_inside, v_core);
+  EXPECT_LT(v_outside, v_core);
+  EXPECT_NEAR(v_core, 1.0 / 0.5, 1e-9);  // Gamma/(2 pi R)
+  EXPECT_EQ(f->sample(c), Vec2{});       // regular at the center
+}
+
+TEST(Analytic, SaddleTopology) {
+  const auto f = field::analytic::saddle({0.0, 0.0}, 1.0, Rect{-1, -1, 1, 1});
+  EXPECT_EQ(f->sample({0.0, 0.0}), Vec2{});              // critical point
+  EXPECT_GT(f->sample({0.5, 0.0}).x, 0.0);               // outflow along x
+  EXPECT_LT(f->sample({0.0, 0.5}).y, 0.0);               // inflow along y
+}
+
+TEST(Analytic, SeparationFieldHasSaddleOnLine) {
+  const Rect domain{0, 0, 2, 1};
+  const auto f = field::analytic::separation(1.2, 1.0, domain);
+  // On the separation line the horizontal velocity vanishes.
+  EXPECT_NEAR(f->sample({1.2, 0.3}).x, 0.0, 1e-12);
+  // Left of the line flow runs right, right of it flow runs left...
+  EXPECT_GT(f->sample({0.5, 0.5}).x, 0.0);
+  EXPECT_LT(f->sample({1.8, 0.5}).x, 0.0);
+  // ...and the attachment point on the center line is a critical point.
+  EXPECT_NEAR(f->sample({1.2, 0.5}).length(), 0.0, 1e-12);
+}
+
+TEST(Analytic, DoubleGyreStaysInDomain) {
+  const auto f = field::analytic::double_gyre(0.1, 0.25, 2.0 * std::numbers::pi / 10.0, 0.0);
+  // Velocity vanishes on the boundary walls (closed domain).
+  EXPECT_NEAR(f->sample({0.0, 0.5}).x, 0.0, 1e-12);
+  EXPECT_NEAR(f->sample({1.0, 0.0}).y, 0.0, 1e-12);
+  EXPECT_NEAR(f->sample({1.0, 1.0}).y, 0.0, 1e-12);
+}
+
+TEST(Analytic, TaylorGreenIsDivergenceFree) {
+  const Rect domain{0, 0, 1, 1};
+  const auto f = field::analytic::taylor_green(1.0, domain);
+  // Numerical divergence via central differences at random points.
+  util::Rng rng(5);
+  const double h = 1e-6;
+  for (int k = 0; k < 50; ++k) {
+    const Vec2 p{rng.uniform(0.1, 0.9), rng.uniform(0.1, 0.9)};
+    const double div = (f->sample({p.x + h, p.y}).x - f->sample({p.x - h, p.y}).x +
+                        f->sample({p.x, p.y + h}).y - f->sample({p.x, p.y - h}).y) /
+                       (2.0 * h);
+    EXPECT_NEAR(div, 0.0, 1e-6);
+  }
+}
+
+// ------------------------------------------------------------- field_ops ---
+
+TEST(FieldOps, CurlOfRigidVortexIsTwiceOmega) {
+  const double omega = 1.5;
+  const field::RegularGrid g(32, 32, Rect{-1, -1, 1, 1});
+  const auto analytic = field::analytic::rigid_vortex({0, 0}, omega, g.domain());
+  const auto f = field::resample(*analytic, g);
+  const auto vorticity = field::curl(f);
+  // Interior samples: curl of rigid rotation = 2*omega everywhere.
+  for (int j = 4; j < 28; ++j)
+    for (int i = 4; i < 28; ++i) EXPECT_NEAR(vorticity.at(i, j), 2.0 * omega, 1e-9);
+}
+
+TEST(FieldOps, DivergenceOfSaddleIsZero) {
+  const field::RegularGrid g(32, 32, Rect{-1, -1, 1, 1});
+  const auto analytic = field::analytic::saddle({0, 0}, 2.0, g.domain());
+  const auto f = field::resample(*analytic, g);
+  const auto div = field::divergence(f);
+  for (int j = 4; j < 28; ++j)
+    for (int i = 4; i < 28; ++i) EXPECT_NEAR(div.at(i, j), 0.0, 1e-9);
+}
+
+TEST(FieldOps, DivergenceOfSourceIsPositive) {
+  const field::RegularGrid g(32, 32, Rect{-1, -1, 1, 1});
+  field::GridVectorField f(g);
+  f.fill([](Vec2 p) { return p; });  // radial outflow, div = 2
+  const auto div = field::divergence(f);
+  EXPECT_NEAR(div.at(16, 16), 2.0, 1e-9);
+}
+
+TEST(FieldOps, MagnitudeField) {
+  const field::RegularGrid g(8, 8, Rect{0, 0, 1, 1});
+  field::GridVectorField f(g);
+  f.fill([](Vec2) { return Vec2{3.0, 4.0}; });
+  const auto mag = field::magnitude(f);
+  EXPECT_DOUBLE_EQ(mag.at(4, 4), 5.0);
+}
+
+TEST(FieldOps, StatisticsOfConstantField) {
+  const field::RegularGrid g(8, 8, Rect{0, 0, 1, 1});
+  field::GridVectorField f(g);
+  f.fill([](Vec2) { return Vec2{3.0, 4.0}; });
+  const auto stats = field::statistics(f);
+  EXPECT_NEAR(stats.mean_magnitude, 5.0, 1e-12);
+  EXPECT_NEAR(stats.rms_magnitude, 5.0, 1e-12);
+  EXPECT_NEAR(stats.max_magnitude, 5.0, 1e-12);
+}
+
+TEST(FieldOps, ResampleRoundTripOnMatchingGrid) {
+  const field::RegularGrid g(16, 16, Rect{0, 0, 1, 1});
+  const auto analytic = field::analytic::taylor_green(1.0, g.domain());
+  const auto f = field::resample(*analytic, g);
+  for (int j = 0; j < 16; ++j)
+    for (int i = 0; i < 16; ++i) {
+      const Vec2 expect = analytic->sample(g.position(i, j));
+      EXPECT_NEAR(f.at(i, j).x, expect.x, 1e-12);
+      EXPECT_NEAR(f.at(i, j).y, expect.y, 1e-12);
+    }
+}
+
+// ------------------------------------------------------------ ScalarField ---
+
+TEST(ScalarField, BilinearSampleAndMinMax) {
+  const field::RegularGrid g(3, 3, Rect{0, 0, 2, 2});
+  field::ScalarField s(g);
+  s.fill([](Vec2 p) { return p.x + 10.0 * p.y; });
+  EXPECT_NEAR(s.sample({1.0, 1.0}), 11.0, 1e-12);
+  EXPECT_NEAR(s.sample({0.5, 0.5}), 5.5, 1e-12);
+  const auto [lo, hi] = s.min_max();
+  EXPECT_DOUBLE_EQ(lo, 0.0);
+  EXPECT_DOUBLE_EQ(hi, 22.0);
+}
+
+// --------------------------------------------------------------- field_io ---
+
+TEST(FieldIo, RectilinearVectorRoundTrip) {
+  field::RectilinearGrid g({0.0, 0.5, 2.0}, {0.0, 1.0, 3.0, 4.0});
+  field::RectilinearVectorField f(g);
+  f.fill([](Vec2 p) { return Vec2{p.x * 2.0, p.y - 1.0}; });
+  std::stringstream buffer;
+  field::write_field(buffer, f);
+  const auto g2 = field::read_rectilinear_field(buffer);
+  EXPECT_EQ(g2.grid().xs(), g.xs());
+  EXPECT_EQ(g2.grid().ys(), g.ys());
+  for (int j = 0; j < g.ny(); ++j)
+    for (int i = 0; i < g.nx(); ++i) EXPECT_EQ(g2.at(i, j), f.at(i, j));
+}
+
+TEST(FieldIo, RegularVectorRoundTrip) {
+  const field::RegularGrid g(5, 4, Rect{0, 0, 2, 2});
+  field::GridVectorField f(g);
+  f.fill([](Vec2 p) { return Vec2{p.y, -p.x}; });
+  std::stringstream buffer;
+  field::write_field(buffer, f);
+  const auto f2 = field::read_regular_field(buffer);
+  EXPECT_EQ(f2.grid(), g);
+  for (int j = 0; j < 4; ++j)
+    for (int i = 0; i < 5; ++i) EXPECT_EQ(f2.at(i, j), f.at(i, j));
+}
+
+TEST(FieldIo, ScalarRoundTrip) {
+  field::RectilinearGrid g({0.0, 1.0, 2.0}, {0.0, 2.0});
+  field::RectilinearScalarField s(g);
+  s.fill([](Vec2 p) { return p.x * p.y + 1.0; });
+  std::stringstream buffer;
+  field::write_scalar(buffer, s);
+  const auto s2 = field::read_rectilinear_scalar(buffer);
+  for (int j = 0; j < 2; ++j)
+    for (int i = 0; i < 3; ++i) EXPECT_EQ(s2.at(i, j), s.at(i, j));
+}
+
+TEST(FieldIo, RejectsWrongMagic) {
+  std::stringstream buffer;
+  buffer << "not a field";
+  EXPECT_THROW((void)field::read_rectilinear_field(buffer), util::Error);
+}
+
+}  // namespace

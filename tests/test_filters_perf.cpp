@@ -1,0 +1,230 @@
+// Tests for texture filters, the performance model (eq. 2.1 / 3.2) and the
+// resource-allocation advisor.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/filters.hpp"
+#include "core/perf_model.hpp"
+#include "render/image.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dcsn;
+
+render::Framebuffer noise_texture(int w, int h, std::uint64_t seed) {
+  render::Framebuffer fb(w, h);
+  util::Rng rng(seed);
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x)
+      fb.at(x, y) = static_cast<float>(rng.intensity());
+  return fb;
+}
+
+// ---------------------------------------------------------------- filters ---
+
+TEST(Filters, BoxBlurPreservesConstant) {
+  render::Framebuffer fb(32, 32);
+  fb.clear(2.5f);
+  const auto blurred = core::box_blur(fb, 3);
+  for (int y = 0; y < 32; ++y)
+    for (int x = 0; x < 32; ++x) EXPECT_NEAR(blurred.at(x, y), 2.5f, 1e-5f);
+}
+
+TEST(Filters, BoxBlurZeroRadiusIsIdentity) {
+  const auto fb = noise_texture(16, 16, 1);
+  const auto out = core::box_blur(fb, 0);
+  EXPECT_TRUE(out == fb);
+}
+
+TEST(Filters, BoxBlurReducesVariance) {
+  const auto fb = noise_texture(64, 64, 2);
+  const auto blurred = core::box_blur(fb, 2);
+  EXPECT_LT(render::texture_stddev(blurred), render::texture_stddev(fb) * 0.5);
+}
+
+TEST(Filters, BoxBlurApproximatelyPreservesMean) {
+  // Border clamping re-weights edge pixels, so the mean is only preserved
+  // up to a border-sized bias (~radius/size of the noise amplitude).
+  const auto fb = noise_texture(64, 64, 3);
+  const auto blurred = core::box_blur(fb, 4);
+  EXPECT_NEAR(blurred.mean(), fb.mean(), 0.01);
+}
+
+TEST(Filters, BoxBlurIsSeparableAverage) {
+  // A unit impulse blurred with radius 1 spreads to a 3x3 of 1/9.
+  render::Framebuffer fb(9, 9);
+  fb.at(4, 4) = 9.0f;
+  const auto blurred = core::box_blur(fb, 1);
+  for (int y = 3; y <= 5; ++y)
+    for (int x = 3; x <= 5; ++x) EXPECT_NEAR(blurred.at(x, y), 1.0f, 1e-5f);
+  EXPECT_NEAR(blurred.at(2, 4), 0.0f, 1e-6f);
+}
+
+TEST(Filters, HighPassRemovesLowFrequency) {
+  // A smooth gradient is almost entirely low frequency: the high-pass
+  // output must be much smaller than the input.
+  render::Framebuffer fb(64, 64);
+  for (int y = 0; y < 64; ++y)
+    for (int x = 0; x < 64; ++x) fb.at(x, y) = static_cast<float>(x) * 0.1f;
+  const auto hp = core::high_pass(fb, 8);
+  // Interior (away from border clamp effects) should be near zero.
+  for (int y = 16; y < 48; ++y)
+    for (int x = 16; x < 48; ++x) EXPECT_NEAR(hp.at(x, y), 0.0f, 1e-3f);
+}
+
+TEST(Filters, HighPassKeepsHighFrequency) {
+  // A single-pixel checkerboard survives a wide high-pass almost intact.
+  render::Framebuffer fb(64, 64);
+  for (int y = 0; y < 64; ++y)
+    for (int x = 0; x < 64; ++x) fb.at(x, y) = ((x + y) % 2 == 0) ? 1.0f : -1.0f;
+  const auto hp = core::high_pass(fb, 4);
+  EXPECT_GT(render::texture_stddev(hp), 0.9 * render::texture_stddev(fb));
+}
+
+TEST(Filters, NormalizeContrastSetsScale) {
+  auto fb = noise_texture(64, 64, 4);
+  core::normalize_contrast(fb, 2.0);
+  EXPECT_NEAR(fb.mean(), 0.0, 1e-5);
+  EXPECT_NEAR(render::texture_stddev(fb), 0.5, 1e-3);  // sigma -> 1/sigmas
+}
+
+TEST(Filters, NormalizeContrastHandlesFlatTexture) {
+  render::Framebuffer fb(8, 8);
+  fb.clear(1.0f);
+  EXPECT_NO_THROW(core::normalize_contrast(fb));
+  EXPECT_EQ(fb.at(0, 0), 1.0f);  // untouched: zero variance
+}
+
+TEST(Filters, EqualizeHistogramFlattens) {
+  // Heavily skewed input: equalization spreads values over [-1, 1] with a
+  // near-uniform distribution, so the quartiles land near -0.5/0/0.5.
+  render::Framebuffer fb(64, 64);
+  util::Rng rng(5);
+  for (int y = 0; y < 64; ++y)
+    for (int x = 0; x < 64; ++x) {
+      const double u = rng.uniform();
+      fb.at(x, y) = static_cast<float>(u * u * u);  // skewed toward 0
+    }
+  core::equalize_histogram(fb);
+  const auto [lo, hi] = fb.min_max();
+  EXPECT_GE(lo, -1.0f);
+  EXPECT_LE(hi, 1.0f);
+  int below_zero = 0;
+  for (int y = 0; y < 64; ++y)
+    for (int x = 0; x < 64; ++x)
+      if (fb.at(x, y) < 0.0f) ++below_zero;
+  EXPECT_NEAR(below_zero, 64 * 64 / 2, 64 * 64 / 10);
+}
+
+TEST(Filters, EqualizeHistogramHandlesFlatTexture) {
+  render::Framebuffer fb(8, 8);
+  fb.clear(3.0f);
+  EXPECT_NO_THROW(core::equalize_histogram(fb));
+}
+
+// -------------------------------------------------------------- PerfModel ---
+
+core::PerfModelParams paper_like_params() {
+  // genP : genT = 4 : 1 — the ratio behind the paper's "about 4 processors
+  // per pipe" observation.
+  core::PerfModelParams p;
+  p.genP_per_spot = 4e-4;
+  p.genT_per_spot = 1e-4;
+  p.gather_per_pipe = 0.02;
+  p.fixed_overhead = 0.0;
+  return p;
+}
+
+TEST(PerfModel, SerialIsMaxNotSum) {
+  const core::PerfModel model(paper_like_params());
+  // eq. 2.1: overlap means max(), so 1000 spots cost 0.4 s (genP side), not
+  // 0.5 s (the sum).
+  EXPECT_NEAR(model.predict_serial(1000), 0.4 + 0.02, 1e-9);
+}
+
+TEST(PerfModel, BalancePointIsGenPOverGenT) {
+  const core::PerfModel model(paper_like_params());
+  EXPECT_NEAR(model.processors_per_pipe_balance(), 4.0, 1e-9);
+}
+
+TEST(PerfModel, AddingProcessorsSaturatesAtBalance) {
+  const core::PerfModel model(paper_like_params());
+  const std::int64_t n = 1000;
+  // Below balance: processor-bound, adding processors helps.
+  EXPECT_GT(model.predict(n, 2, 1), model.predict(n, 4, 1));
+  // Beyond balance: pipe-bound, more processors change nothing.
+  EXPECT_NEAR(model.predict(n, 5, 1), model.predict(n, 8, 1), 1e-9);
+}
+
+TEST(PerfModel, GatherTermPenalizesManyPipes) {
+  const core::PerfModel model(paper_like_params());
+  const std::int64_t n = 1000;
+  // With 4n processors per n pipes the max() term scales perfectly, but the
+  // gather term c grows linearly in pipes — speedup must be sublinear.
+  const double t1 = model.predict(n, 4, 1);
+  const double t4 = model.predict(n, 16, 4);
+  EXPECT_GT(t4, t1 / 4.0);
+  EXPECT_LT(t4, t1);  // but still faster overall
+}
+
+TEST(PerfModel, CalibrationRoundTrip) {
+  // Build synthetic frame stats from known parameters, calibrate, predict.
+  core::FrameStats frame;
+  frame.spots = 2000;
+  frame.genP_seconds = 2000 * 4e-4;
+  frame.genT_seconds = 2000 * 1e-4;
+  frame.gather_seconds = 0.04;
+  frame.frame_seconds =
+      std::max(frame.genP_seconds / 2, frame.genT_seconds / 2) + 0.04;
+  const auto model = core::PerfModel::calibrate(frame, 2);
+  EXPECT_NEAR(model.params().genP_per_spot, 4e-4, 1e-9);
+  EXPECT_NEAR(model.params().genT_per_spot, 1e-4, 1e-9);
+  EXPECT_NEAR(model.params().gather_per_pipe, 0.02, 1e-9);
+  EXPECT_NEAR(model.processors_per_pipe_balance(), 4.0, 1e-6);
+}
+
+TEST(PerfModel, PredictRateInvertsTime) {
+  const core::PerfModel model(paper_like_params());
+  const double t = model.predict(1000, 4, 1);
+  EXPECT_NEAR(model.predict_rate(1000, 4, 1), 1.0 / t, 1e-9);
+}
+
+TEST(PerfModel, RejectsBadInput) {
+  const core::PerfModel model(paper_like_params());
+  EXPECT_THROW((void)model.predict(100, 0, 1), util::Error);
+  core::FrameStats empty;
+  EXPECT_THROW((void)core::PerfModel::calibrate(empty, 1), util::Error);
+}
+
+// ---------------------------------------------------------- best_allocation ---
+
+TEST(Allocation, PrefersBalancedConfiguration) {
+  const core::PerfModel model(paper_like_params());
+  const auto choice = core::best_allocation(model, 1000, 8, 4);
+  // With 8 CPUs and c = 0.02/pipe: 2 pipes + 8 CPUs gives max(.05, .05)+.04
+  // = 0.09; 1 pipe gives max(.05,.1)+.02 = 0.12; 4 pipes gives
+  // max(.05,.025)+.08 = 0.13. Expect 2 pipes, 8 processors.
+  EXPECT_EQ(choice.pipes, 2);
+  EXPECT_EQ(choice.processors, 8);
+}
+
+TEST(Allocation, HonorsMachineLimits) {
+  const core::PerfModel model(paper_like_params());
+  const auto choice = core::best_allocation(model, 1000, 3, 8);
+  EXPECT_LE(choice.processors, 3);
+  EXPECT_LE(choice.pipes, choice.processors);  // master per pipe
+}
+
+TEST(Allocation, CheapGatherFavorsMorePipes) {
+  auto params = paper_like_params();
+  params.gather_per_pipe = 1e-6;
+  const core::PerfModel model(params);
+  const auto choice = core::best_allocation(model, 1000, 16, 4);
+  EXPECT_EQ(choice.pipes, 4);
+  EXPECT_EQ(choice.processors, 16);
+}
+
+}  // namespace

@@ -1,0 +1,222 @@
+// PPM round trips plus end-to-end integration tests that run the full
+// pipeline of figure 3/5: read data -> advect -> synthesize -> image.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/animator.hpp"
+#include "core/dnc_synthesizer.hpp"
+#include "core/serial_synthesizer.hpp"
+#include "field/analytic.hpp"
+#include "io/ppm.hpp"
+#include "sim/smog_model.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace dcsn;
+using field::Rect;
+
+// --------------------------------------------------------------------- ppm ---
+
+TEST(Ppm, RoundTripPreservesPixels) {
+  const std::string path = testing::TempDir() + "/dcsn_ppm_test.ppm";
+  render::Image img(7, 5);
+  for (int y = 0; y < 5; ++y)
+    for (int x = 0; x < 7; ++x)
+      img.at(x, y) = {static_cast<std::uint8_t>(x * 30),
+                      static_cast<std::uint8_t>(y * 50),
+                      static_cast<std::uint8_t>((x + y) * 10)};
+  io::write_ppm(path, img);
+  const auto back = io::read_ppm(path);
+  ASSERT_EQ(back.width(), 7);
+  ASSERT_EQ(back.height(), 5);
+  for (int y = 0; y < 5; ++y)
+    for (int x = 0; x < 7; ++x) EXPECT_EQ(back.at(x, y), img.at(x, y));
+  std::filesystem::remove(path);
+}
+
+TEST(Ppm, WritesPgmForTexture) {
+  const std::string path = testing::TempDir() + "/dcsn_pgm_test.pgm";
+  render::Framebuffer fb(8, 8);
+  fb.at(4, 4) = 1.0f;
+  io::write_pgm(path, fb);
+  EXPECT_GT(std::filesystem::file_size(path), 64u);  // header + 64 pixels
+  std::filesystem::remove(path);
+}
+
+TEST(Ppm, RejectsBadPath) {
+  render::Image img(2, 2);
+  EXPECT_THROW(io::write_ppm("/nonexistent_dir_xyz/out.ppm", img), util::Error);
+  EXPECT_THROW((void)io::read_ppm("/nonexistent_dir_xyz/in.ppm"), util::Error);
+}
+
+// --------------------------------------------------------------- Animator ---
+
+TEST(Animator, RunsFullPipeline) {
+  core::SynthesisConfig config;
+  config.texture_width = 128;
+  config.texture_height = 128;
+  config.spot_count = 300;
+  const Rect domain{0, 0, 2, 1};
+  const auto f = field::analytic::double_gyre(0.1, 0.25, 0.6, 0.0);
+
+  core::DncConfig dnc;
+  dnc.processors = 2;
+  dnc.pipes = 1;
+  core::DncSynthesizer synth(config, dnc);
+
+  particles::ParticleSystemConfig pc;
+  pc.count = config.spot_count;
+  particles::ParticleSystem particles(pc, domain, util::Rng(1));
+
+  core::AnimatorConfig ac;
+  ac.high_pass_radius = 4;
+  int reads = 0;
+  core::Animator animator(ac, synth, particles,
+                          [&](std::int64_t) -> const field::VectorField& {
+                            ++reads;
+                            return *f;
+                          });
+
+  const auto frame0 = animator.step();
+  const auto frame1 = animator.step();
+  EXPECT_EQ(reads, 2);
+  EXPECT_EQ(animator.frame_number(), 2);
+  ASSERT_NE(frame1.texture, nullptr);
+  EXPECT_EQ(frame1.texture->width(), 128);
+  EXPECT_GT(render::texture_stddev(*frame1.texture), 0.0);
+  EXPECT_GT(frame0.advect_seconds, 0.0);
+  EXPECT_GT(frame0.filter_seconds, 0.0);
+  EXPECT_GE(frame0.total_seconds,
+            frame0.synthesis.frame_seconds + frame0.advect_seconds - 1e-6);
+}
+
+TEST(Animator, TextureEvolvesBetweenFrames) {
+  core::SynthesisConfig config;
+  config.texture_width = 96;
+  config.texture_height = 96;
+  config.spot_count = 200;
+  const Rect domain{0, 0, 2, 1};
+  const auto f = field::analytic::double_gyre(0.2, 0.25, 0.6, 0.0);
+  core::DncConfig dnc;
+  dnc.processors = 2;
+  dnc.pipes = 1;
+  core::DncSynthesizer synth(config, dnc);
+  particles::ParticleSystemConfig pc;
+  pc.count = config.spot_count;
+  particles::ParticleSystem particles(pc, domain, util::Rng(2));
+  core::Animator animator({}, synth, particles,
+                          [&](std::int64_t) -> const field::VectorField& { return *f; });
+  const auto frame0 = animator.step();
+  const render::Framebuffer first = *frame0.texture;
+  const auto frame1 = animator.step();
+  // Advection moved the spots: the texture must change.
+  double diff = 0.0;
+  for (int y = 0; y < 96; ++y)
+    for (int x = 0; x < 96; ++x)
+      diff += std::abs(double(first.at(x, y)) - double(frame1.texture->at(x, y)));
+  EXPECT_GT(diff, 0.0);
+}
+
+TEST(Animator, ValidatesConfig) {
+  core::SynthesisConfig config;
+  config.texture_width = 32;
+  config.texture_height = 32;
+  core::DncConfig dnc;
+  dnc.processors = 1;
+  dnc.pipes = 1;
+  core::DncSynthesizer synth(config, dnc);
+  particles::ParticleSystemConfig pc;
+  pc.count = 10;
+  particles::ParticleSystem particles(pc, Rect{0, 0, 1, 1}, util::Rng(3));
+  core::AnimatorConfig bad;
+  bad.advect_radius_fraction = 0.0;
+  EXPECT_THROW(core::Animator(bad, synth, particles,
+                              [&](std::int64_t) -> const field::VectorField& {
+                                throw std::logic_error("unused");
+                              }),
+               util::Error);
+}
+
+// ------------------------------------------------------------- integration ---
+
+TEST(Integration, SmogWindDrivesSpotNoise) {
+  // The §5.1 loop at test scale: step the model, synthesize from its wind.
+  sim::SmogParams sp;
+  sp.nx = 27;
+  sp.ny = 28;
+  sim::SmogModel model(sp);
+  model.step(0.5);
+
+  core::SynthesisConfig config;
+  config.texture_width = 128;
+  config.texture_height = 128;
+  config.spot_count = 400;
+  config.kind = core::SpotKind::kBent;
+  config.bent.mesh_cols = 8;
+  config.bent.mesh_rows = 3;
+  config.bent.length_px = 24.0;
+  core::DncConfig dnc;
+  dnc.processors = 4;
+  dnc.pipes = 2;
+  core::DncSynthesizer synth(config, dnc);
+  util::Rng rng(11);
+  const auto spots =
+      core::make_random_spots(model.wind().domain(), config.spot_count, rng);
+  const auto stats = synth.synthesize(model.wind(), spots);
+  EXPECT_EQ(stats.spots, 400);
+  EXPECT_GT(render::texture_stddev(synth.texture()), 0.0);
+}
+
+TEST(Integration, AnisotropyFollowsTheFlow) {
+  // In a strong horizontal shear flow, ellipse spots stretch along x, so
+  // horizontal neighbor correlation must exceed vertical correlation —
+  // the reason spot noise shows the flow at all.
+  core::SynthesisConfig config;
+  config.texture_width = 256;
+  config.texture_height = 256;
+  config.spot_count = 3000;
+  config.spot_radius_px = 6.0;
+  config.kind = core::SpotKind::kEllipse;
+  config.ellipse.max_stretch = 4.0;
+  const Rect domain{0, 0, 1, 1};
+  const auto f = field::analytic::uniform({1.0, 0.0}, domain);
+  core::SerialSynthesizer synth(config);
+  util::Rng rng(13);
+  const auto spots = core::make_random_spots(domain, config.spot_count, rng);
+  synth.synthesize(*f, spots);
+
+  const auto& tex = synth.texture();
+  double horizontal = 0.0, vertical = 0.0;
+  const int lag = 4;
+  for (int y = lag; y < 256 - lag; ++y)
+    for (int x = lag; x < 256 - lag; ++x) {
+      horizontal += double(tex.at(x, y)) * tex.at(x + lag, y);
+      vertical += double(tex.at(x, y)) * tex.at(x, y + lag);
+    }
+  EXPECT_GT(horizontal, vertical * 1.2);
+}
+
+TEST(Integration, AdvectedSpotPositionsRevealSeparationLine) {
+  // The figure-2 effect: advect the population through the separation
+  // field; spot density concentrates near the separation line x = sep_x.
+  const Rect domain{0, 0, 2, 1};
+  const double sep_x = 1.2;
+  const auto f = field::analytic::separation(sep_x, 1.0, domain);
+  particles::ParticleSystemConfig pc;
+  pc.count = 4000;
+  pc.mean_lifetime = 1e9;
+  pc.respawn_out_of_domain = false;  // let them pile up
+  particles::ParticleSystem particles(pc, domain, util::Rng(17));
+  for (int step = 0; step < 150; ++step) particles.advance(*f, 0.02);
+
+  int near_line = 0;
+  for (const auto& p : particles.particles())
+    if (std::abs(p.position.x - sep_x) < 0.1) ++near_line;
+  // Uniform would put ~10% of spots in that band; the e^{-t} contraction
+  // toward the line concentrates the overwhelming majority there.
+  EXPECT_GT(near_line, 3000);
+}
+
+}  // namespace

@@ -1,0 +1,349 @@
+// Tests for the application substrates: smog model physics and steering,
+// DNS solver stability and vortex shedding, dataset round trips and the
+// browser's playback/caching behaviour.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "field/field_ops.hpp"
+#include "sim/dataset.hpp"
+#include "sim/dns_solver.hpp"
+#include "sim/smog_model.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace dcsn;
+
+// -------------------------------------------------------------- SmogModel ---
+
+sim::SmogParams fast_smog() {
+  sim::SmogParams params;
+  params.nx = 27;  // smaller grid for fast tests; benches use the paper's 53x55
+  params.ny = 28;
+  return params;
+}
+
+TEST(SmogModel, GridMatchesConfiguration) {
+  sim::SmogModel model({});
+  EXPECT_EQ(model.wind().grid().nx(), 53);  // the paper's grid
+  EXPECT_EQ(model.wind().grid().ny(), 55);
+}
+
+TEST(SmogModel, WindIncludesBaseFlow) {
+  auto params = fast_smog();
+  params.pressure_systems = 0;  // base flow only
+  sim::SmogModel model(params);
+  const auto v = model.wind().sample(params.domain.center());
+  EXPECT_NEAR(v.x, params.base_wind.x, 1e-9);
+  EXPECT_NEAR(v.y, params.base_wind.y, 1e-9);
+}
+
+TEST(SmogModel, PressureSystemsStirTheWind) {
+  auto params = fast_smog();
+  params.pressure_systems = 3;
+  sim::SmogModel model(params);
+  const auto stats = field::statistics(model.wind());
+  // Rotational systems create spatial variance the base flow lacks.
+  EXPECT_GT(stats.max_magnitude, params.base_wind.length() * 1.2);
+}
+
+TEST(SmogModel, ConcentrationsStayNonNegativeAndFinite) {
+  sim::SmogModel model(fast_smog());
+  for (int step = 0; step < 10; ++step) model.step(0.25);
+  for (const auto species : {sim::Species::kPrecursor, sim::Species::kOzone}) {
+    for (const double c : model.concentration(species).samples()) {
+      ASSERT_TRUE(std::isfinite(c));
+      ASSERT_GE(c, 0.0);
+    }
+  }
+}
+
+TEST(SmogModel, EmissionsRaisePrecursor) {
+  sim::SmogModel model(fast_smog());
+  model.step(1.0);
+  const auto [lo, hi] = model.concentration(sim::Species::kPrecursor).min_max();
+  EXPECT_GT(hi, 0.0);
+}
+
+TEST(SmogModel, OzoneFormsFromPrecursor) {
+  sim::SmogModel model(fast_smog());
+  for (int step = 0; step < 8; ++step) model.step(0.5);
+  const auto [lo, hi] = model.concentration(sim::Species::kOzone).min_max();
+  EXPECT_GT(hi, 0.0);  // secondary pollutant appears without direct emission
+}
+
+TEST(SmogModel, ZeroPhotoRateMakesNoOzone) {
+  auto params = fast_smog();
+  params.photo_rate = 0.0;
+  sim::SmogModel model(params);
+  for (int step = 0; step < 5; ++step) model.step(0.5);
+  const auto [lo, hi] = model.concentration(sim::Species::kOzone).min_max();
+  EXPECT_EQ(hi, 0.0);
+}
+
+TEST(SmogModel, SteeringEmissionRateTakesEffect) {
+  // Kill all sources: the precursor must decay instead of accumulating.
+  sim::SmogModel model(fast_smog());
+  for (int step = 0; step < 5; ++step) model.step(0.5);
+  double total_before = 0.0;
+  for (const double c : model.concentration(sim::Species::kPrecursor).samples())
+    total_before += c;
+  for (std::size_t s = 0; s < model.sources().size(); ++s)
+    model.set_source_rate(s, 0.0);
+  for (int step = 0; step < 5; ++step) model.step(0.5);
+  double total_after = 0.0;
+  for (const double c : model.concentration(sim::Species::kPrecursor).samples())
+    total_after += c;
+  EXPECT_LT(total_after, total_before);
+}
+
+TEST(SmogModel, WindChangesOverTime) {
+  sim::SmogModel model(fast_smog());
+  const auto v0 = model.wind().sample(model.params().domain.center());
+  for (int step = 0; step < 4; ++step) model.step(1.0);
+  const auto v1 = model.wind().sample(model.params().domain.center());
+  EXPECT_GT((v1 - v0).length(), 1e-6);  // systems drifted
+  EXPECT_NEAR(model.time_hours(), 4.0, 1e-12);
+}
+
+TEST(SmogModel, SteeringValidation) {
+  sim::SmogModel model(fast_smog());
+  EXPECT_THROW(model.set_source_rate(99, 1.0), util::Error);
+  EXPECT_THROW(model.set_source_rate(0, -1.0), util::Error);
+  EXPECT_THROW(model.step(0.0), util::Error);
+}
+
+// -------------------------------------------------------------- DnsSolver ---
+
+sim::DnsParams fast_dns() {
+  sim::DnsParams params;
+  params.nx = 96;  // benches use the paper's 278x208
+  params.ny = 64;
+  params.domain = {0.0, 0.0, 12.0, 8.0};
+  params.block = {3.0, 3.2, 4.0, 4.2};
+  params.pressure_iterations = 40;
+  return params;
+}
+
+TEST(DnsSolver, BlockCellsAreSolidAndStationary) {
+  sim::DnsSolver solver(fast_dns());
+  const auto& g = solver.grid();
+  int solid_count = 0;
+  for (int j = 0; j < g.ny(); ++j)
+    for (int i = 0; i < g.nx(); ++i)
+      if (solver.is_solid(i, j)) {
+        ++solid_count;
+        EXPECT_EQ(solver.velocity().at(i, j), field::Vec2{});
+      }
+  EXPECT_GT(solid_count, 10);
+  for (int step = 0; step < 5; ++step) solver.step();
+  for (int j = 0; j < g.ny(); ++j)
+    for (int i = 0; i < g.nx(); ++i)
+      if (solver.is_solid(i, j)) {
+        EXPECT_EQ(solver.velocity().at(i, j), field::Vec2{});
+      }
+}
+
+TEST(DnsSolver, StaysStableAndFinite) {
+  sim::DnsSolver solver(fast_dns());
+  for (int step = 0; step < 60; ++step) solver.step();
+  for (const auto& v : solver.velocity().samples()) {
+    ASSERT_TRUE(std::isfinite(v.x));
+    ASSERT_TRUE(std::isfinite(v.y));
+  }
+  // Speeds remain of the order of the inflow (no blow-up).
+  EXPECT_LT(solver.velocity().max_magnitude(), 5.0 * fast_dns().inflow_speed);
+  EXPECT_GT(solver.kinetic_energy(), 0.0);
+}
+
+TEST(DnsSolver, ProjectionReducesDivergence) {
+  sim::DnsSolver solver(fast_dns());
+  for (int step = 0; step < 20; ++step) solver.step();
+  const auto div = field::divergence(solver.velocity());
+  // Interior divergence should be small relative to U/h.
+  const double h = solver.grid().dx();
+  const double scale = fast_dns().inflow_speed / h;
+  double worst = 0.0;
+  for (int j = 8; j < 56; ++j)
+    for (int i = 8; i < 88; ++i)
+      if (!solver.is_solid(i, j)) worst = std::max(worst, std::abs(div.at(i, j)));
+  EXPECT_LT(worst, 0.25 * scale);
+}
+
+TEST(DnsSolver, WakeDevelopsBehindBlock) {
+  sim::DnsSolver solver(fast_dns());
+  for (int step = 0; step < 120; ++step) solver.step();
+  // Downstream of the block the flow is slower than the free stream;
+  // compare the wake centerline with a line above the block.
+  const auto& g = solver.grid();
+  const field::CellCoord behind = g.locate({5.5, 3.7});  // just downstream
+  const field::CellCoord above = g.locate({5.5, 6.5});
+  const double wake_speed = solver.velocity().at(behind.i, behind.j).length();
+  const double free_speed = solver.velocity().at(above.i, above.j).length();
+  EXPECT_LT(wake_speed, free_speed);
+}
+
+TEST(DnsSolver, VortexSheddingProducesOscillation) {
+  // After spin-up, the cross-stream velocity behind the block oscillates
+  // (Kármán street). We check sign changes of v_y sampled over time.
+  auto params = fast_dns();
+  params.viscosity = 3e-3;
+  sim::DnsSolver solver(params);
+  for (int step = 0; step < 200; ++step) solver.step();  // spin-up
+  int sign_changes = 0;
+  double last = 0.0;
+  for (int step = 0; step < 400; ++step) {
+    solver.step();
+    const double vy = solver.velocity().sample({6.0, 3.7}).y;
+    if (vy * last < 0.0) ++sign_changes;
+    if (vy != 0.0) last = vy;
+  }
+  EXPECT_GE(sign_changes, 2) << "no oscillation: wake stayed symmetric";
+}
+
+TEST(DnsSolver, SnapshotResamplesOntoStretchedGrid) {
+  sim::DnsSolver solver(fast_dns());
+  for (int step = 0; step < 5; ++step) solver.step();
+  const auto snap = solver.snapshot(2.5);
+  EXPECT_EQ(snap.grid().nx(), fast_dns().nx);
+  EXPECT_EQ(snap.grid().ny(), fast_dns().ny);
+  // The stretched grid concentrates samples near the block center.
+  const auto& xs = snap.grid().xs();
+  const double block_cx = fast_dns().block.center().x;
+  const auto it = std::lower_bound(xs.begin(), xs.end(), block_cx);
+  const auto k = static_cast<std::size_t>(it - xs.begin());
+  const double near_spacing = xs[k + 1] - xs[k];
+  const double far_spacing = xs[xs.size() - 1] - xs[xs.size() - 2];
+  EXPECT_LT(near_spacing, far_spacing);
+  // Values agree with the solver field at sample positions.
+  const auto p = snap.grid().position(10, 10);
+  const auto expect = solver.velocity().sample(p);
+  EXPECT_NEAR(snap.at(10, 10).x, expect.x, 1e-9);
+}
+
+TEST(DnsSolver, RejectsBadParams) {
+  auto params = fast_dns();
+  params.block = {-5.0, 0.0, 1.0, 1.0};  // outside the domain
+  EXPECT_THROW(sim::DnsSolver{params}, util::Error);
+  params = fast_dns();
+  params.sor_omega = 2.5;
+  EXPECT_THROW(sim::DnsSolver{params}, util::Error);
+}
+
+// ---------------------------------------------------------------- Dataset ---
+
+class DatasetTest : public ::testing::Test {
+ protected:
+  std::string path_ = testing::TempDir() + "/dcsn_dataset_test.bin";
+
+  field::RectilinearVectorField make_frame(double value) {
+    field::RectilinearGrid grid({0.0, 1.0, 2.0, 4.0}, {0.0, 1.0, 3.0});
+    field::RectilinearVectorField f(grid);
+    f.fill([value](field::Vec2 p) { return field::Vec2{value + p.x, p.y}; });
+    return f;
+  }
+
+  void write_frames(int count) {
+    field::RectilinearGrid grid({0.0, 1.0, 2.0, 4.0}, {0.0, 1.0, 3.0});
+    sim::DatasetWriter writer(path_, grid);
+    for (int k = 0; k < count; ++k)
+      writer.append(make_frame(static_cast<double>(k)), 0.5 * k);
+    writer.close();
+  }
+
+  void TearDown() override { std::filesystem::remove(path_); }
+};
+
+TEST_F(DatasetTest, RoundTripPreservesFramesAndTimes) {
+  write_frames(5);
+  sim::DatasetReader reader(path_);
+  EXPECT_EQ(reader.frame_count(), 5);
+  for (int k = 0; k < 5; ++k) {
+    const auto frame = reader.load(k);
+    const auto expect = make_frame(static_cast<double>(k));
+    for (int j = 0; j < 3; ++j)
+      for (int i = 0; i < 4; ++i) EXPECT_EQ(frame.at(i, j), expect.at(i, j));
+    EXPECT_DOUBLE_EQ(reader.time_of(k), 0.5 * k);
+  }
+}
+
+TEST_F(DatasetTest, RandomAccessIsOrderIndependent) {
+  write_frames(10);
+  sim::DatasetReader reader(path_);
+  EXPECT_EQ(reader.load(7).at(0, 0).x, 7.0);
+  EXPECT_EQ(reader.load(2).at(0, 0).x, 2.0);
+  EXPECT_EQ(reader.load(9).at(0, 0).x, 9.0);
+  EXPECT_THROW((void)reader.load(10), util::Error);
+  EXPECT_THROW((void)reader.load(-1), util::Error);
+}
+
+TEST_F(DatasetTest, BrowserStepsAndWraps) {
+  write_frames(4);
+  sim::DatasetReader reader(path_);
+  sim::DataBrowser browser(reader);
+  EXPECT_EQ(browser.position(), 0);
+  browser.step();
+  browser.step();
+  EXPECT_EQ(browser.position(), 2);
+  browser.step();
+  browser.step();  // wraps to 0
+  EXPECT_EQ(browser.position(), 0);
+  browser.set_direction(sim::DataBrowser::Direction::kBackward);
+  browser.step();
+  EXPECT_EQ(browser.position(), 3);
+}
+
+TEST_F(DatasetTest, BrowserCachesFrames) {
+  write_frames(4);
+  sim::DatasetReader reader(path_);
+  sim::DataBrowser browser(reader, 2);
+  (void)browser.current();  // miss
+  (void)browser.current();  // hit
+  browser.step();
+  (void)browser.current();  // miss
+  browser.seek(0);
+  (void)browser.current();  // hit (still cached)
+  EXPECT_EQ(browser.cache_misses(), 2u);
+  EXPECT_EQ(browser.cache_hits(), 2u);
+}
+
+TEST_F(DatasetTest, BrowserEvictsLru) {
+  write_frames(5);
+  sim::DatasetReader reader(path_);
+  sim::DataBrowser browser(reader, 2);
+  (void)browser.current();  // load 0
+  browser.seek(1);
+  (void)browser.current();  // load 1
+  browser.seek(2);
+  (void)browser.current();  // load 2, evicts 0
+  browser.seek(0);
+  (void)browser.current();  // miss again
+  EXPECT_EQ(browser.cache_misses(), 4u);
+}
+
+TEST_F(DatasetTest, BrowserSeekValidation) {
+  write_frames(3);
+  sim::DatasetReader reader(path_);
+  sim::DataBrowser browser(reader);
+  EXPECT_THROW(browser.seek(3), util::Error);
+  EXPECT_THROW(browser.seek(-1), util::Error);
+}
+
+TEST_F(DatasetTest, FrameDataMatchesSolverSnapshot) {
+  // End-to-end: DNS -> dataset -> browser returns the same field.
+  sim::DnsSolver solver(fast_dns());
+  solver.step();
+  const auto snap = solver.snapshot();
+  {
+    sim::DatasetWriter writer(path_, snap.grid());
+    writer.append(snap, solver.time());
+  }
+  sim::DatasetReader reader(path_);
+  const auto loaded = reader.load(0);
+  EXPECT_EQ(loaded.at(20, 20), snap.at(20, 20));
+  EXPECT_DOUBLE_EQ(reader.time_of(0), solver.time());
+}
+
+}  // namespace

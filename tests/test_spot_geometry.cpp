@@ -1,0 +1,310 @@
+// Tests for spot transformation: point, ellipse and bent spot geometry.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/spot_geometry.hpp"
+#include "field/analytic.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace dcsn;
+using field::Rect;
+using field::Vec2;
+
+core::SynthesisConfig base_config() {
+  core::SynthesisConfig config;
+  config.texture_width = 256;
+  config.texture_height = 256;
+  config.spot_radius_px = 8.0;
+  return config;
+}
+
+// ------------------------------------------------------------- point spots ---
+
+TEST(SpotGeometry, PointSpotIsAxisAlignedSquare) {
+  auto config = base_config();
+  config.kind = core::SpotKind::kPoint;
+  const Rect domain{0, 0, 256, 256};  // 1 world unit = 1 pixel
+  const auto f = field::analytic::uniform({1.0, 0.0}, domain);
+  const core::SpotGeometryGenerator gen(config, *f);
+
+  render::CommandBuffer buf;
+  gen.generate({{128.0, 128.0}, 0.5}, buf);
+  ASSERT_EQ(buf.mesh_count(), 1u);
+  const auto& h = buf.meshes()[0];
+  EXPECT_EQ(h.cols, 2);
+  EXPECT_EQ(h.rows, 2);
+  EXPECT_FLOAT_EQ(h.intensity, 0.5f);
+  const auto v = buf.vertices_of(h);
+  // World (128,128) maps to pixel (128, 128) with y flip: (1-0.5)*256 = 128.
+  EXPECT_FLOAT_EQ(v[0].x, 120.0f);
+  EXPECT_FLOAT_EQ(v[0].y, 120.0f);
+  EXPECT_FLOAT_EQ(v[3].x, 136.0f);
+  EXPECT_FLOAT_EQ(v[3].y, 136.0f);
+}
+
+TEST(SpotGeometry, IntensityScaleApplied) {
+  auto config = base_config();
+  config.kind = core::SpotKind::kPoint;
+  config.intensity_scale = 0.25;
+  const auto f = field::analytic::uniform({1.0, 0.0}, Rect{0, 0, 1, 1});
+  const core::SpotGeometryGenerator gen(config, *f);
+  render::CommandBuffer buf;
+  gen.generate({{0.5, 0.5}, 1.0}, buf);
+  EXPECT_FLOAT_EQ(buf.meshes()[0].intensity, 0.25f);
+}
+
+// ----------------------------------------------------------- ellipse spots ---
+
+TEST(SpotGeometry, EllipseStretchesAlongFlow) {
+  auto config = base_config();
+  config.kind = core::SpotKind::kEllipse;
+  config.ellipse.max_stretch = 3.0;
+  const Rect domain{0, 0, 256, 256};
+  const auto f = field::analytic::uniform({5.0, 0.0}, domain);  // max speed field
+  const core::SpotGeometryGenerator gen(config, *f);
+
+  render::CommandBuffer buf;
+  gen.generate({{128.0, 128.0}, 1.0}, buf);
+  const auto v = buf.vertices_of(buf.meshes()[0]);
+  // Flow along +x at max relative speed: stretch = 3, so the spot spans
+  // 2*8*3 = 48 px along x and 2*8/3 px across.
+  const float width = std::abs(v[1].x - v[0].x);
+  const float height = std::abs(v[2].y - v[0].y);
+  EXPECT_NEAR(width, 48.0f, 1e-3f);
+  EXPECT_NEAR(height, 16.0f / 3.0f, 1e-3f);
+}
+
+TEST(SpotGeometry, EllipseAreaIsPreserved) {
+  auto config = base_config();
+  config.kind = core::SpotKind::kEllipse;
+  const Rect domain{0, 0, 256, 256};
+  // A shear field gives different speeds at different positions.
+  const auto f = field::analytic::shear(0.1, domain);
+  const core::SpotGeometryGenerator gen(config, *f);
+
+  for (const double y : {40.0, 128.0, 200.0}) {
+    render::CommandBuffer buf;
+    gen.generate({{128.0, y}, 1.0}, buf);
+    const auto v = buf.vertices_of(buf.meshes()[0]);
+    const Vec2 e1{v[1].x - v[0].x, v[1].y - v[0].y};
+    const Vec2 e2{v[2].x - v[0].x, v[2].y - v[0].y};
+    const double area = std::abs(e1.cross(e2));
+    EXPECT_NEAR(area, 4.0 * 8.0 * 8.0, 1e-2) << "at y = " << y;  // float vertices
+  }
+}
+
+TEST(SpotGeometry, EllipseFallsBackToPointAtStagnation) {
+  auto config = base_config();
+  config.kind = core::SpotKind::kEllipse;
+  const Rect domain{-1, -1, 1, 1};
+  const auto f = field::analytic::saddle({0, 0}, 1.0, domain);
+  const core::SpotGeometryGenerator gen(config, *f);
+  render::CommandBuffer buf;
+  gen.generate({{0.0, 0.0}, 1.0}, buf);  // exactly on the critical point
+  const auto v = buf.vertices_of(buf.meshes()[0]);
+  // Untransformed square of half-width radius.
+  EXPECT_NEAR(std::abs(v[1].x - v[0].x), 16.0f, 1e-4f);
+  EXPECT_NEAR(std::abs(v[2].y - v[0].y), 16.0f, 1e-4f);
+}
+
+TEST(SpotGeometry, EllipseRotatesWithFlowDirection) {
+  auto config = base_config();
+  config.kind = core::SpotKind::kEllipse;
+  const Rect domain{0, 0, 256, 256};
+  const auto f = field::analytic::uniform({0.0, 4.0}, domain);  // straight up
+  const core::SpotGeometryGenerator gen(config, *f);
+  render::CommandBuffer buf;
+  gen.generate({{128.0, 128.0}, 1.0}, buf);
+  const auto v = buf.vertices_of(buf.meshes()[0]);
+  // The long axis must now be vertical in pixel space.
+  const float dx = std::abs(v[1].x - v[0].x);
+  const float dy = std::abs(v[1].y - v[0].y);
+  EXPECT_GT(dy, dx);
+}
+
+// -------------------------------------------------------------- bent spots ---
+
+TEST(SpotGeometry, BentSpotFollowsStraightFlow) {
+  auto config = base_config();
+  config.kind = core::SpotKind::kBent;
+  config.bent.mesh_cols = 9;
+  config.bent.mesh_rows = 3;
+  config.bent.length_px = 64.0;
+  const Rect domain{0, 0, 256, 256};
+  const auto f = field::analytic::uniform({1.0, 0.0}, domain);
+  const core::SpotGeometryGenerator gen(config, *f);
+
+  render::CommandBuffer buf;
+  gen.generate({{128.0, 128.0}, 1.0}, buf);
+  ASSERT_EQ(buf.mesh_count(), 1u);
+  const auto& h = buf.meshes()[0];
+  EXPECT_EQ(h.cols, 9);
+  EXPECT_EQ(h.rows, 3);
+  const auto v = buf.vertices_of(h);
+  // The center spine row (j = 1) runs along y = 128 spanning ~64 px.
+  const std::size_t row = 9;
+  EXPECT_NEAR(v[row].y, 128.0f, 1e-3f);
+  EXPECT_NEAR(v[row + 8].y, 128.0f, 1e-3f);
+  EXPECT_NEAR(v[row + 8].x - v[row].x, 64.0f, 1.0f);
+  // Cross rows sit one radius above/below the spine.
+  EXPECT_NEAR(v[0].y, 120.0f, 1e-3f);
+  EXPECT_NEAR(v[18].y, 136.0f, 1e-3f);
+}
+
+TEST(SpotGeometry, BentSpotBendsAroundVortex) {
+  auto config = base_config();
+  config.kind = core::SpotKind::kBent;
+  config.bent.mesh_cols = 17;
+  config.bent.mesh_rows = 3;
+  config.bent.length_px = 96.0;
+  const Rect domain{-128, -128, 128, 128};
+  const auto f = field::analytic::rigid_vortex({0, 0}, 1.0, domain);
+  const core::SpotGeometryGenerator gen(config, *f);
+
+  render::CommandBuffer buf;
+  gen.generate({{64.0, 0.0}, 1.0}, buf);
+  const auto& h = buf.meshes()[0];
+  const auto v = buf.vertices_of(h);
+  // Spine points must stay near the streamline circle of radius 64 world
+  // units (= 64 px here), i.e. distance from texture center (128,128).
+  const std::size_t spine_row = static_cast<std::size_t>(h.cols);  // j = 1
+  for (int i = 0; i < h.cols; ++i) {
+    const float dx = v[spine_row + static_cast<std::size_t>(i)].x - 128.0f;
+    const float dy = v[spine_row + static_cast<std::size_t>(i)].y - 128.0f;
+    EXPECT_NEAR(std::hypot(dx, dy), 64.0f, 0.5f);
+  }
+  // And it must actually bend: the spine deviates from the chord between
+  // its endpoints (a straight ribbon would not).
+  const auto& first = v[spine_row];
+  const auto& last = v[spine_row + static_cast<std::size_t>(h.cols) - 1];
+  const double chord_len = std::hypot(last.x - first.x, last.y - first.y);
+  double max_deviation = 0.0;
+  for (int i = 1; i + 1 < h.cols; ++i) {
+    const auto& p = v[spine_row + static_cast<std::size_t>(i)];
+    const double cross = (last.x - first.x) * (p.y - first.y) -
+                         (last.y - first.y) * (p.x - first.x);
+    max_deviation = std::max(max_deviation, std::abs(cross) / chord_len);
+  }
+  EXPECT_GT(max_deviation, 2.0);  // pixels of sagitta over a 96 px arc
+}
+
+TEST(SpotGeometry, BentSpotTruncatesAtBoundary) {
+  auto config = base_config();
+  config.kind = core::SpotKind::kBent;
+  config.bent.mesh_cols = 17;
+  config.bent.length_px = 64.0;
+  const Rect domain{0, 0, 256, 256};
+  const auto f = field::analytic::uniform({1.0, 0.0}, domain);
+  const core::SpotGeometryGenerator gen(config, *f);
+  render::CommandBuffer buf;
+  gen.generate({{250.0, 128.0}, 1.0}, buf);  // 6 px from the outflow edge
+  const auto& h = buf.meshes()[0];
+  EXPECT_LT(h.cols, 17);  // downstream half truncated
+  EXPECT_GE(h.cols, 2);
+}
+
+TEST(SpotGeometry, BentSpotAtStagnationDegradesToPoint) {
+  auto config = base_config();
+  config.kind = core::SpotKind::kBent;
+  const Rect domain{-1, -1, 1, 1};
+  const auto f = field::analytic::saddle({0, 0}, 1.0, domain);
+  const core::SpotGeometryGenerator gen(config, *f);
+  render::CommandBuffer buf;
+  gen.generate({{0.0, 0.0}, 1.0}, buf);
+  ASSERT_EQ(buf.mesh_count(), 1u);
+  EXPECT_EQ(buf.meshes()[0].cols, 2);  // point-spot fallback
+  EXPECT_EQ(buf.meshes()[0].rows, 2);
+}
+
+TEST(SpotGeometry, SubstepsDoNotChangeVertexCount) {
+  for (const int substeps : {1, 2, 8}) {
+    auto config = base_config();
+    config.kind = core::SpotKind::kBent;
+    config.bent.mesh_cols = 9;
+    config.bent.trace_substeps = substeps;
+    const Rect domain{0, 0, 256, 256};
+    const auto f = field::analytic::uniform({1.0, 0.0}, domain);
+    const core::SpotGeometryGenerator gen(config, *f);
+    render::CommandBuffer buf;
+    gen.generate({{128.0, 128.0}, 1.0}, buf);
+    EXPECT_EQ(buf.meshes()[0].cols, 9) << "substeps = " << substeps;
+  }
+}
+
+TEST(SpotGeometry, SubstepsImproveSpineAccuracy) {
+  // On a vortex, higher substep counts keep the decimated spine closer to
+  // the true circular streamline.
+  auto config = base_config();
+  config.kind = core::SpotKind::kBent;
+  config.bent.mesh_cols = 9;
+  config.bent.length_px = 120.0;
+  const Rect domain{-128, -128, 128, 128};
+  const auto f = field::analytic::rankine_vortex({0, 0}, 800.0, 30.0, domain);
+
+  auto spine_error = [&](int substeps) {
+    auto c = config;
+    c.bent.trace_substeps = substeps;
+    const core::SpotGeometryGenerator gen(c, *f);
+    render::CommandBuffer buf;
+    gen.generate({{40.0, 0.0}, 1.0}, buf);
+    const auto& h = buf.meshes()[0];
+    const auto v = buf.vertices_of(h);
+    double worst = 0.0;
+    const auto spine = static_cast<std::size_t>(h.cols);
+    for (int i = 0; i < h.cols; ++i) {
+      const double dx = v[spine + static_cast<std::size_t>(i)].x - 128.0;
+      const double dy = v[spine + static_cast<std::size_t>(i)].y - 128.0;
+      worst = std::max(worst, std::abs(std::hypot(dx, dy) - 40.0));
+    }
+    return worst;
+  };
+  EXPECT_LT(spine_error(8), spine_error(1));
+}
+
+// ------------------------------------------------------------- max extent ---
+
+TEST(SpotGeometry, MaxExtentBoundsGeneratedGeometry) {
+  // Property: every vertex of any generated spot lies within max_extent_px
+  // of the spot's mapped position. The tiling preprocessor relies on this.
+  for (const auto kind :
+       {core::SpotKind::kPoint, core::SpotKind::kEllipse, core::SpotKind::kBent}) {
+    auto config = base_config();
+    config.kind = kind;
+    const Rect domain{-128, -128, 128, 128};
+    const auto f = field::analytic::rigid_vortex({0, 0}, 1.0, domain);
+    const core::SpotGeometryGenerator gen(config, *f);
+    const double extent = gen.max_extent_px();
+    util::Rng rng(99);
+    for (int k = 0; k < 100; ++k) {
+      const core::SpotInstance spot{
+          {rng.uniform(-128, 128), rng.uniform(-128, 128)}, 1.0};
+      render::CommandBuffer buf;
+      gen.generate(spot, buf);
+      const auto [px, py] = gen.mapping().map(spot.position);
+      for (const auto& h : buf.meshes()) {
+        for (const auto& v : buf.vertices_of(h)) {
+          EXPECT_LE(std::abs(v.x - px), extent + 1e-3);
+          EXPECT_LE(std::abs(v.y - py), extent + 1e-3);
+        }
+      }
+    }
+  }
+}
+
+TEST(SpotGeometry, RejectsInvalidConfig) {
+  const auto f = field::analytic::uniform({1, 0}, Rect{0, 0, 1, 1});
+  auto bad = base_config();
+  bad.spot_radius_px = 0.0;
+  EXPECT_THROW(core::SpotGeometryGenerator(bad, *f), util::Error);
+  bad = base_config();
+  bad.bent.mesh_cols = 1;
+  EXPECT_THROW(core::SpotGeometryGenerator(bad, *f), util::Error);
+  bad = base_config();
+  bad.bent.trace_substeps = 0;
+  EXPECT_THROW(core::SpotGeometryGenerator(bad, *f), util::Error);
+}
+
+}  // namespace

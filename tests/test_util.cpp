@@ -1,0 +1,335 @@
+// Unit tests for the util layer: RNG statistics and determinism, timing,
+// queues, spans, work distribution, CLI parsing.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/queue.hpp"
+#include "util/rng.hpp"
+#include "util/span2d.hpp"
+#include "util/stopwatch.hpp"
+#include "util/threading.hpp"
+
+namespace {
+
+using namespace dcsn;
+
+// ------------------------------------------------------------------- Rng ---
+
+TEST(Rng, DeterministicForFixedSeed) {
+  util::Rng a(123);
+  util::Rng b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  util::Rng a(1);
+  util::Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a() == b()) ? 1 : 0;
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, UniformStaysInUnitInterval) {
+  util::Rng rng(7);
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanAndVariance) {
+  util::Rng rng(11);
+  double sum = 0.0, sum_sq = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    const double u = rng.uniform();
+    sum += u;
+    sum_sq += u * u;
+  }
+  const double mean = sum / kN;
+  const double var = sum_sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 5e-3);
+  EXPECT_NEAR(var, 1.0 / 12.0, 5e-3);
+}
+
+TEST(Rng, IntensityIsZeroMeanSymmetric) {
+  util::Rng rng(13);
+  double sum = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    const double a = rng.intensity();
+    ASSERT_GE(a, -1.0);
+    ASSERT_LE(a, 1.0);
+    sum += a;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 5e-3);
+}
+
+TEST(Rng, NormalMoments) {
+  util::Rng rng(17);
+  double sum = 0.0, sum_sq = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.01);
+  EXPECT_NEAR(sum_sq / kN, 1.0, 0.02);
+}
+
+TEST(Rng, IndexStaysInRange) {
+  util::Rng rng(19);
+  for (int i = 0; i < 10000; ++i) {
+    const auto k = rng.index(17);
+    ASSERT_GE(k, 0);
+    ASSERT_LT(k, 17);
+  }
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  util::Rng parent(23);
+  util::Rng child = parent.split();
+  // Child and parent should produce (statistically) unrelated sequences.
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += (parent() == child()) ? 1 : 0;
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, JumpChangesState) {
+  util::Rng a(29);
+  util::Rng b(29);
+  b.jump();
+  EXPECT_NE(a(), b());
+}
+
+// -------------------------------------------------------------- Stopwatch ---
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  util::Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double s = watch.seconds();
+  EXPECT_GE(s, 0.015);
+  EXPECT_LT(s, 1.0);
+}
+
+TEST(Stopwatch, RestartResets) {
+  util::Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  watch.restart();
+  EXPECT_LT(watch.seconds(), 0.015);
+}
+
+TEST(TimeAccumulator, SumsScopedIntervals) {
+  util::TimeAccumulator acc;
+  for (int i = 0; i < 3; ++i) {
+    util::ScopedTimer t(acc);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(acc.seconds(), 0.012);
+  EXPECT_EQ(acc.intervals(), 3);
+  acc.reset();
+  EXPECT_EQ(acc.seconds(), 0.0);
+  EXPECT_EQ(acc.intervals(), 0);
+}
+
+// ----------------------------------------------------------------- Span2D ---
+
+TEST(Span2D, IndexingAndRows) {
+  std::vector<int> data(12);
+  util::Span2D<int> span(data.data(), 4, 3);
+  span(2, 1) = 42;
+  EXPECT_EQ(data[6], 42);
+  EXPECT_EQ(span.row(1)[2], 42);
+  EXPECT_EQ(span.width(), 4);
+  EXPECT_EQ(span.height(), 3);
+}
+
+TEST(Span2D, SubviewSharesStorage) {
+  std::vector<int> data(16, 0);
+  util::Span2D<int> span(data.data(), 4, 4);
+  auto sub = span.subview(1, 1, 2, 2);
+  sub(0, 0) = 9;
+  EXPECT_EQ(span(1, 1), 9);
+  EXPECT_EQ(sub.stride(), 4);
+  EXPECT_EQ(sub.width(), 2);
+}
+
+TEST(Span2D, ConstConversion) {
+  std::vector<double> data(4, 1.5);
+  util::Span2D<double> span(data.data(), 2, 2);
+  util::Span2D<const double> cspan = span;
+  EXPECT_EQ(cspan(1, 1), 1.5);
+}
+
+// ------------------------------------------------------------ BoundedQueue ---
+
+TEST(BoundedQueue, FifoOrder) {
+  util::BoundedQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.push(i));
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(q.pop().value(), i);
+}
+
+TEST(BoundedQueue, TryPushRespectsCapacity) {
+  util::BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));
+}
+
+TEST(BoundedQueue, CloseDrainsAndEnds) {
+  util::BoundedQueue<int> q(8);
+  q.push(1);
+  q.close();
+  EXPECT_FALSE(q.push(2));
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(BoundedQueue, BlockingHandoffAcrossThreads) {
+  util::BoundedQueue<int> q(2);
+  constexpr int kItems = 1000;
+  std::thread producer([&q] {
+    for (int i = 0; i < kItems; ++i) q.push(i);
+    q.close();
+  });
+  int expected = 0;
+  while (auto v = q.pop()) {
+    EXPECT_EQ(*v, expected);
+    ++expected;
+  }
+  producer.join();
+  EXPECT_EQ(expected, kItems);
+}
+
+TEST(BoundedQueue, ReopenAfterClose) {
+  util::BoundedQueue<int> q(4);
+  q.close();
+  EXPECT_FALSE(q.push(1));
+  q.reopen();
+  EXPECT_TRUE(q.push(1));
+  EXPECT_EQ(q.pop().value(), 1);
+}
+
+// ------------------------------------------------------------- WorkCounter ---
+
+TEST(WorkCounter, CoversRangeExactlyOnce) {
+  util::WorkCounter counter(100, 7);
+  std::vector<bool> seen(100, false);
+  while (true) {
+    const auto range = counter.claim();
+    if (range.empty()) break;
+    for (std::int64_t k = range.begin; k < range.end; ++k) {
+      EXPECT_FALSE(seen[static_cast<std::size_t>(k)]);
+      seen[static_cast<std::size_t>(k)] = true;
+    }
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(WorkCounter, ParallelClaimsDoNotOverlap) {
+  util::WorkCounter counter(10000, 13);
+  std::atomic<std::int64_t> total{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      std::int64_t local = 0;
+      while (true) {
+        const auto range = counter.claim();
+        if (range.empty()) break;
+        local += range.size();
+      }
+      total += local;
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(total.load(), 10000);
+}
+
+TEST(WorkCounter, ResetAllowsReuse) {
+  util::WorkCounter counter(10, 10);
+  EXPECT_EQ(counter.claim().size(), 10);
+  EXPECT_TRUE(counter.claim().empty());
+  counter.reset();
+  EXPECT_EQ(counter.claim().size(), 10);
+}
+
+// ------------------------------------------------------------------- Args ---
+
+TEST(Args, ParsesKeyValueAndFlags) {
+  const char* argv[] = {"prog", "--spots=500", "--full", "--scale=1.5",
+                        "--name=test"};
+  util::Args args(5, argv);
+  EXPECT_EQ(args.get_int("spots", 0), 500);
+  EXPECT_TRUE(args.has("full"));
+  EXPECT_FALSE(args.has("missing"));
+  EXPECT_DOUBLE_EQ(args.get_double("scale", 0.0), 1.5);
+  EXPECT_EQ(args.get_string("name", ""), "test");
+}
+
+TEST(Args, FallbacksForMissingKeys) {
+  const char* argv[] = {"prog"};
+  util::Args args(1, argv);
+  EXPECT_EQ(args.get_int("spots", 42), 42);
+  EXPECT_DOUBLE_EQ(args.get_double("x", 2.5), 2.5);
+  EXPECT_EQ(args.get_string("s", "d"), "d");
+}
+
+// ------------------------------------------------------------------ Error ---
+
+TEST(Check, ThrowsWithContext) {
+  try {
+    DCSN_CHECK(1 == 2, "math broke");
+    FAIL() << "expected throw";
+  } catch (const util::Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("math broke"), std::string::npos);
+  }
+}
+
+TEST(Check, PassesSilently) {
+  EXPECT_NO_THROW(DCSN_CHECK(true, "never"));
+}
+
+// -------------------------------------------------------------------- Csv ---
+
+TEST(Csv, WritesHeaderAndRows) {
+  const std::string path = testing::TempDir() + "/dcsn_csv_test.csv";
+  {
+    util::CsvWriter csv(path, {"a", "b"});
+    csv.row({"1", "2"});
+    csv.row({util::CsvWriter::num(3.5), "x"});
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2");
+  std::getline(in, line);
+  EXPECT_EQ(line, "3.5,x");
+}
+
+TEST(Csv, RejectsWrongWidth) {
+  const std::string path = testing::TempDir() + "/dcsn_csv_test2.csv";
+  util::CsvWriter csv(path, {"a", "b"});
+  EXPECT_THROW(csv.row({"only-one"}), util::Error);
+}
+
+// -------------------------------------------------------------- Threading ---
+
+TEST(Threading, HardwareThreadsPositive) {
+  EXPECT_GE(util::hardware_threads(), 1);
+}
+
+}  // namespace
