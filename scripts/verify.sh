@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure + build + test in one command.
+#
+#   scripts/verify.sh            # Release build in ./build
+#   BUILD_DIR=out scripts/verify.sh
+#   JOBS=8 scripts/verify.sh
+#
+# Mirrors the ROADMAP's verify line exactly; CI and pre-merge checks should
+# call this script so the recipe lives in one place.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+JOBS="${JOBS:-$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)}"
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j "$JOBS"
+cd "$BUILD_DIR" && ctest --output-on-failure -j "$JOBS"

@@ -1,6 +1,6 @@
 #include "core/lic.hpp"
 
-#include <omp.h>
+#include "util/omp_compat.hpp"
 
 #include <algorithm>
 #include <cmath>
@@ -41,7 +41,10 @@ render::Framebuffer lic(const field::VectorField& f,
     return noise_px(x, y);
   };
 
-  const int threads = config.threads > 0 ? config.threads : omp_get_max_threads();
+  // [[maybe_unused]]: without -fopenmp the pragma below is discarded and
+  // this would otherwise be the TU's only use.
+  [[maybe_unused]] const int threads =
+      config.threads > 0 ? config.threads : omp_get_max_threads();
 #pragma omp parallel for schedule(dynamic, 4) num_threads(threads)
   for (int y = 0; y < config.height; ++y) {
     for (int x = 0; x < config.width; ++x) {

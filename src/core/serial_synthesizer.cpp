@@ -1,6 +1,6 @@
 #include "core/serial_synthesizer.hpp"
 
-#include <omp.h>
+#include "util/omp_compat.hpp"
 
 #include <cmath>
 #include <vector>

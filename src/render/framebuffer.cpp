@@ -6,11 +6,17 @@
 
 namespace dcsn::render {
 
-Framebuffer::Framebuffer(int width, int height)
-    : width_(width), height_(height),
-      data_(static_cast<std::size_t>(width) * static_cast<std::size_t>(height), 0.0f) {
+namespace {
+// Validated before the pixel vector is sized: a negative dimension cast to
+// size_t would otherwise hit the allocator first and throw the wrong type.
+std::size_t checked_pixel_count(int width, int height) {
   DCSN_CHECK(width > 0 && height > 0, "framebuffer dimensions must be positive");
+  return static_cast<std::size_t>(width) * static_cast<std::size_t>(height);
 }
+}  // namespace
+
+Framebuffer::Framebuffer(int width, int height)
+    : width_(width), height_(height), data_(checked_pixel_count(width, height), 0.0f) {}
 
 void Framebuffer::clear(float value) {
   std::fill(data_.begin(), data_.end(), value);

@@ -1,0 +1,13 @@
+// Thin OpenMP shim: when the compiler has no OpenMP support the `#pragma omp`
+// directives vanish on their own, but calls into the runtime (omp_get_*) do
+// not — this header supplies serial fallbacks so the same sources build
+// either way. Include this instead of <omp.h>.
+#pragma once
+
+#ifdef _OPENMP
+#include <omp.h>
+#else
+inline int omp_get_thread_num() { return 0; }
+inline int omp_get_max_threads() { return 1; }
+inline int omp_get_num_threads() { return 1; }
+#endif

@@ -97,6 +97,73 @@ TEST(EdgeCases, HugeChunkSize) {
   EXPECT_EQ(engine.synthesize(*f, spots).spots, 100);
 }
 
+// ------------------------------------------------------ config validation ---
+
+TEST(ConfigValidation, ZeroSpotsSynthesizeCleanly) {
+  // An empty spot set is a valid frame (e.g. all particles advected out of
+  // the domain): both engines must return a black texture, not crash.
+  core::SynthesisConfig config;
+  config.texture_width = 16;
+  config.texture_height = 16;
+  const auto f = field::analytic::uniform({1, 0}, Rect{0, 0, 1, 1});
+  const std::vector<core::SpotInstance> none;
+
+  core::SerialSynthesizer serial(config);
+  const auto serial_stats = serial.synthesize(*f, none);
+  EXPECT_EQ(serial_stats.spots, 0);
+  EXPECT_EQ(serial.texture().min_max(), std::make_pair(0.0f, 0.0f));
+
+  core::DncConfig dnc;
+  dnc.processors = 2;
+  dnc.pipes = 2;
+  core::DncSynthesizer engine(config, dnc);
+  const auto dnc_stats = engine.synthesize(*f, none);
+  EXPECT_EQ(dnc_stats.spots, 0);
+  EXPECT_EQ(engine.texture().min_max(), std::make_pair(0.0f, 0.0f));
+}
+
+TEST(ConfigValidation, ZeroSizeTextureRejected) {
+  for (const auto& [w, h] : {std::pair{0, 16}, {16, 0}, {0, 0}, {-4, 16}}) {
+    core::SynthesisConfig config;
+    config.texture_width = w;
+    config.texture_height = h;
+    EXPECT_THROW(core::SerialSynthesizer{config}, util::Error) << w << "x" << h;
+    EXPECT_THROW((core::DncSynthesizer{config, core::DncConfig{}}), util::Error)
+        << w << "x" << h;
+  }
+}
+
+TEST(ConfigValidation, DegenerateSpotRadiusRejected) {
+  const auto f = field::analytic::uniform({1, 0}, Rect{0, 0, 1, 1});
+  util::Rng rng(5);
+  const auto spots = core::make_random_spots(f->domain(), 4, rng);
+  for (const double radius : {0.0, -1.0}) {
+    core::SynthesisConfig config;
+    config.texture_width = 16;
+    config.texture_height = 16;
+    config.spot_radius_px = radius;
+    // The radius feeds spot-shape generation, so construction succeeds and
+    // the first synthesize() throws — from the calling thread, both engines.
+    core::SerialSynthesizer serial(config);
+    EXPECT_THROW(serial.synthesize(*f, spots), util::Error) << radius;
+    core::DncSynthesizer engine(config, core::DncConfig{});
+    EXPECT_THROW(engine.synthesize(*f, spots), util::Error) << radius;
+  }
+}
+
+TEST(ConfigValidation, DegenerateBentMeshRejected) {
+  const auto f = field::analytic::uniform({1, 0}, Rect{0, 0, 1, 1});
+  util::Rng rng(6);
+  const auto spots = core::make_random_spots(f->domain(), 4, rng);
+  core::SynthesisConfig config;
+  config.texture_width = 16;
+  config.texture_height = 16;
+  config.kind = core::SpotKind::kBent;
+  config.bent.mesh_cols = 1;  // a mesh needs >= 2x2 vertices
+  core::SerialSynthesizer serial(config);
+  EXPECT_THROW(serial.synthesize(*f, spots), util::Error);
+}
+
 // -------------------------------------------------------- hostile geometry ---
 
 TEST(EdgeCases, SpotsFarOutsideTexture) {
