@@ -17,34 +17,53 @@ int main(int argc, char** argv) {
   const int frames = args.get_int("frames", 2);
 
   util::CsvWriter csv("ablation_tiling.csv",
-                      {"workload", "pipes", "mode", "rate", "duplicates",
-                       "gather_ms", "readback_mb"});
+                      {"workload", "pipes", "mode", "modeled_rate", "wall_rate",
+                       "duplicates", "gather_ms", "readback_mb", "imbalance",
+                       "stolen_chunks"});
+
+  struct Mode {
+    const char* name;
+    bool tiled;
+    core::TileStrategy strategy;
+  };
+  const Mode modes[] = {
+      {"gather-blend", false, core::TileStrategy::kGrid},
+      {"tiled-grid", true, core::TileStrategy::kGrid},
+      {"tiled-kd", true, core::TileStrategy::kCostBalanced},
+  };
 
   for (const bool dns : {false, true}) {
     bench::Workload workload = dns ? bench::make_dns_workload(80)
                                    : bench::make_atmospheric_workload();
     std::printf("\n%s\n", workload.name.c_str());
-    std::printf("%6s %14s %12s %12s %11s %12s\n", "pipes", "mode", "textures/s",
-                "duplicates", "gather ms", "readback MB");
+    std::printf("%6s %14s %11s %9s %12s %11s %12s %11s %9s\n", "pipes", "mode",
+                "modeled/s", "wall/s", "duplicates", "gather ms", "readback MB",
+                "imbalance", "stolen");
     for (const int pipes : {2, 4}) {
-      for (const bool tiled : {false, true}) {
+      for (const Mode& mode : modes) {
         core::DncConfig dnc;
         dnc.processors = 8;
         dnc.pipes = pipes;
-        dnc.tiled = tiled;
+        dnc.tiled = mode.tiled;
+        dnc.tile_strategy = mode.strategy;
         dnc.bus_bytes_per_second = bench::kPaperBusBytesPerSecond;
-        core::FrameStats stats;
-        const double rate = bench::measure_rate(workload, dnc, frames, &stats);
-        std::printf("%6d %14s %12.2f %12lld %11.2f %12.2f\n", pipes,
-                    tiled ? "tiled" : "gather-blend", rate,
+        const bench::RateSample sample = bench::measure_rates(workload, dnc, frames);
+        const core::FrameStats& stats = sample.stats;
+        std::printf("%6d %14s %11.2f %9.2f %12lld %11.2f %12.2f %11.2f %9lld\n",
+                    pipes, mode.name, sample.modeled_rate, sample.wall_rate,
                     static_cast<long long>(stats.duplicated_spots),
                     stats.gather_seconds * 1e3,
-                    static_cast<double>(stats.readback_bytes) / 1e6);
-        csv.row({dns ? "dns" : "atmospheric", std::to_string(pipes),
-                 tiled ? "tiled" : "gather", util::CsvWriter::num(rate),
+                    static_cast<double>(stats.readback_bytes) / 1e6,
+                    stats.imbalance,
+                    static_cast<long long>(stats.stolen_chunks));
+        csv.row({dns ? "dns" : "atmospheric", std::to_string(pipes), mode.name,
+                 util::CsvWriter::num(sample.modeled_rate),
+                 util::CsvWriter::num(sample.wall_rate),
                  std::to_string(stats.duplicated_spots),
                  util::CsvWriter::num(stats.gather_seconds * 1e3),
-                 util::CsvWriter::num(static_cast<double>(stats.readback_bytes) / 1e6)});
+                 util::CsvWriter::num(static_cast<double>(stats.readback_bytes) / 1e6),
+                 util::CsvWriter::num(stats.imbalance),
+                 std::to_string(stats.stolen_chunks)});
       }
     }
   }

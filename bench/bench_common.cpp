@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "field/analytic.hpp"
 #include "sim/dns_solver.hpp"
 #include "sim/smog_model.hpp"
 #include "util/csv.hpp"
@@ -60,6 +61,71 @@ Workload make_dns_workload(int spinup_steps) {
   return w;
 }
 
+Workload make_balance_workload(bool clustered) {
+  Workload w;
+  w.name = std::string("load-balance stress (capped swirl, 10000 bent spots, ") +
+           (clustered ? "clustered" : "uniform") + ")";
+
+  // Solid rotation under a (1 - (r/R)^2)^2 envelope: smooth inside the core,
+  // *exactly* zero outside it. Outside spots see a stagnant field, so their
+  // streamline trace stops at the seed and the bent spot degrades to a cheap
+  // point quad — per-spot cost genuinely varies with position.
+  const field::Vec2 center{0.26, 0.28};
+  const double core_radius = 0.22;
+  const double omega = 1.0;
+  const field::Rect domain{0, 0, 1, 1};
+  auto swirl = [center, core_radius, omega](field::Vec2 p) -> field::Vec2 {
+    const double dx = p.x - center.x;
+    const double dy = p.y - center.y;
+    const double r2 = (dx * dx + dy * dy) / (core_radius * core_radius);
+    if (r2 >= 1.0) return {0.0, 0.0};
+    const double envelope = (1.0 - r2) * (1.0 - r2);
+    return {-dy * omega * envelope, dx * omega * envelope};
+  };
+  // max of r * (1 - (r/R)^2)^2 over r is at r = R/sqrt(5).
+  const double max_mag = omega * core_radius * 0.2863;
+  w.field = std::make_unique<field::CallableField>(swirl, domain, max_mag);
+
+  w.synthesis.texture_width = 512;
+  w.synthesis.texture_height = 512;
+  w.synthesis.spot_count = 10000;
+  w.synthesis.kind = core::SpotKind::kBent;
+  w.synthesis.bent.mesh_cols = 16;
+  w.synthesis.bent.mesh_rows = 5;
+  w.synthesis.bent.length_px = 36.0;
+  w.synthesis.bent.trace_substeps = 8;
+  w.synthesis.spot_radius_px = 3.0;
+  w.synthesis.intensity_scale =
+      core::SerialSynthesizer::natural_intensity(w.synthesis);
+
+  util::Rng rng(w.synthesis.seed);
+  if (clustered) {
+    // First half: dense cluster inside the swirl core (expensive spots,
+    // contiguous in index order). Second half: scattered over the whole
+    // domain, mostly stagnant (cheap).
+    const std::int64_t in_cluster = w.synthesis.spot_count / 2;
+    const double half_box = core_radius * 0.55;  // box stays inside the core
+    w.spots.reserve(static_cast<std::size_t>(w.synthesis.spot_count));
+    for (std::int64_t k = 0; k < in_cluster; ++k) {
+      core::SpotInstance spot;
+      spot.position = {rng.uniform(center.x - half_box, center.x + half_box),
+                       rng.uniform(center.y - half_box, center.y + half_box)};
+      spot.intensity = rng.intensity();
+      w.spots.push_back(spot);
+    }
+    for (std::int64_t k = in_cluster; k < w.synthesis.spot_count; ++k) {
+      core::SpotInstance spot;
+      spot.position = {rng.uniform(domain.x0, domain.x1),
+                       rng.uniform(domain.y0, domain.y1)};
+      spot.intensity = rng.intensity();
+      w.spots.push_back(spot);
+    }
+  } else {
+    w.spots = core::make_random_spots(domain, w.synthesis.spot_count, rng);
+  }
+  return w;
+}
+
 double measure_rate(const Workload& workload, const core::DncConfig& dnc,
                     int frames, core::FrameStats* last_stats) {
   core::DncSynthesizer engine(workload.synthesis, dnc);
@@ -72,6 +138,23 @@ double measure_rate(const Workload& workload, const core::DncConfig& dnc,
   }
   if (last_stats) *last_stats = stats;
   return frames / total;
+}
+
+RateSample measure_rates(const Workload& workload, const core::DncConfig& dnc,
+                         int frames) {
+  core::DncSynthesizer engine(workload.synthesis, dnc);
+  (void)engine.synthesize(*workload.field, workload.spots);  // warm-up
+  RateSample sample;
+  double wall = 0.0;
+  double modeled = 0.0;
+  for (int k = 0; k < frames; ++k) {
+    sample.stats = engine.synthesize(*workload.field, workload.spots);
+    wall += sample.stats.frame_seconds;
+    modeled += sample.stats.modeled_frame_seconds;
+  }
+  sample.wall_rate = frames / wall;
+  sample.modeled_rate = modeled > 0.0 ? frames / modeled : 0.0;
+  return sample;
 }
 
 std::vector<Cell> run_table(const Workload& workload,

@@ -36,6 +36,18 @@ Workload make_atmospheric_workload();
 /// `spinup_steps` trades bench startup time against wake development.
 Workload make_dns_workload(int spinup_steps = 120);
 
+/// Load-balance stress workload: a capped swirl (solid rotation inside a
+/// compact core, exactly stagnant outside) with bent spots. With `clustered`
+/// set, the first half of the spot array sits inside the swirl core — those
+/// spots trace full-length streamlines and rasterize full ribbons, while the
+/// stagnant background spots degrade to cheap point quads. That skews both
+/// the contiguous even-index split (cost varies along the index axis) and
+/// the tiled grid split (the expensive spots crowd one region), which is
+/// exactly the imbalance bench_ablation_balance measures. With `clustered`
+/// false the same field and config get uniformly scattered spots — the
+/// "stealing must not regress" control.
+Workload make_balance_workload(bool clustered);
+
 /// The paper's hardware model: the Onyx2 bus.
 constexpr double kPaperBusBytesPerSecond = 800.0e6;
 
@@ -44,6 +56,24 @@ constexpr double kPaperBusBytesPerSecond = 800.0e6;
 /// receives the final frame's stats when non-null.
 double measure_rate(const Workload& workload, const core::DncConfig& dnc,
                     int frames, core::FrameStats* last_stats = nullptr);
+
+/// Both views of the frame rate over `frames` synthesized textures.
+struct RateSample {
+  /// Textures/s by wall clock — what this host actually delivered. Only
+  /// meaningful as a parallelism measure when the host has at least one core
+  /// per worker and pipe; an oversubscribed host serializes the groups and
+  /// wall clock can only show scheduling *overhead*, never a balancing win.
+  double wall_rate = 0.0;
+  /// Textures/s from FrameStats::modeled_frame_seconds — the eq. 3.2
+  /// critical path over per-thread CPU time, i.e. what a fully-parallel host
+  /// would see. Load-independent, so it is the headline number for
+  /// scheduling ablations.
+  double modeled_rate = 0.0;
+  core::FrameStats stats;  ///< last measured frame
+};
+
+RateSample measure_rates(const Workload& workload, const core::DncConfig& dnc,
+                         int frames);
 
 /// One measured cell of a paper table.
 struct Cell {

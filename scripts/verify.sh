@@ -2,6 +2,9 @@
 # Tier-1 verification: configure + build + test in one command.
 #
 #   scripts/verify.sh            # Release build in ./build
+#   scripts/verify.sh --tsan     # also run the concurrency suites under
+#                                # ThreadSanitizer (build-tsan, opt-in: the
+#                                # instrumented build is ~10x slower)
 #   BUILD_DIR=out scripts/verify.sh
 #   JOBS=8 scripts/verify.sh
 #
@@ -14,6 +17,31 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-build}"
 JOBS="${JOBS:-$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)}"
 
+RUN_TSAN=0
+for arg in "$@"; do
+  case "$arg" in
+    --tsan) RUN_TSAN=1 ;;
+    *) echo "unknown argument: $arg (supported: --tsan)" >&2; exit 2 ;;
+  esac
+done
+
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j "$JOBS"
-cd "$BUILD_DIR" && ctest --output-on-failure -j "$JOBS"
+(cd "$BUILD_DIR" && ctest --output-on-failure -j "$JOBS")
+
+if [[ "$RUN_TSAN" -eq 1 ]]; then
+  # The scheduler's cross-group stealing and the pipe/queue machinery are the
+  # code where a data race would hide; run exactly those suites instrumented.
+  # gtest discovery re-runs each binary, so build only what we need.
+  TSAN_SUITES=(test_scheduling test_synthesizers test_pipe test_util)
+  echo "== ThreadSanitizer pass (build-tsan) =="
+  cmake --preset tsan
+  cmake --build --preset tsan -j "$JOBS" --target "${TSAN_SUITES[@]}"
+  # TSan needs unrestricted ptrace/ASLR handling in some containers; surface
+  # a clear failure rather than a hang if the kernel refuses.
+  export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
+  for suite in "${TSAN_SUITES[@]}"; do
+    echo "-- $suite (tsan)"
+    "./build-tsan/tests/$suite" --gtest_brief=1
+  done
+fi

@@ -1,7 +1,10 @@
 #include "core/dnc_synthesizer.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <numeric>
 #include <string>
+#include <utility>
 
 #include "util/error.hpp"
 
@@ -21,7 +24,9 @@ DncSynthesizer::DncSynthesizer(SynthesisConfig synthesis, DncConfig dnc)
   bus_ = std::make_shared<render::Bus>(dnc_.bus_bytes_per_second);
 
   // Tiled mode: each pipe renders one region; otherwise each pipe renders
-  // the full texture and the partials are blended.
+  // the full texture and the partials are blended. The cost-balanced
+  // strategy re-derives the regions from each frame's spots; the grid is
+  // its spot-independent starting point.
   if (dnc_.tiled) {
     tiles_ = make_tile_grid(synthesis_.texture_width, synthesis_.texture_height,
                             dnc_.pipes);
@@ -46,6 +51,7 @@ DncSynthesizer::DncSynthesizer(SynthesisConfig synthesis, DncConfig dnc)
     pc.raster_cost_multiplier = dnc_.raster_cost_multiplier;
     pc.queue_capacity = dnc_.pipe_queue_capacity;
     group.pipe = std::make_unique<render::GraphicsPipe>(pc, bus_, g);
+    group.work = std::make_unique<util::StealableWorkCounter>(0, dnc_.chunk_spots);
     // Initial pipe state: the spot profile texture and additive blending.
     // Set once; per-spot state changes are exactly what the design avoids.
     group.pipe->bind_profile(profile);
@@ -64,6 +70,9 @@ DncSynthesizer::DncSynthesizer(SynthesisConfig synthesis, DncConfig dnc)
   // belongs to group w % pipes, and the first worker of each group is its
   // master.
   worker_genP_.resize(static_cast<std::size_t>(dnc_.processors), 0.0);
+  worker_steal_seconds_.resize(static_cast<std::size_t>(dnc_.processors), 0.0);
+  worker_stolen_chunks_.resize(static_cast<std::size_t>(dnc_.processors), 0);
+  worker_stolen_spots_.resize(static_cast<std::size_t>(dnc_.processors), 0);
   for (int w = 0; w < dnc_.processors; ++w) {
     const int g = w % dnc_.pipes;
     const bool is_master = w < dnc_.pipes;
@@ -95,6 +104,52 @@ std::int64_t DncSynthesizer::global_index(const Group& group,
              : group.begin + local;
 }
 
+std::vector<double> DncSynthesizer::estimate_spot_costs(
+    std::span<const SpotInstance> spots) const {
+  // Relative weights only: the kd-cut is scale-invariant, so the absolute
+  // per-spot seconds (PerfModel::per_spot_seconds) never move a cut — what
+  // matters is how cost *varies* across spots. For bent spots that variation
+  // is trace length: in stagnant flow the streamline tracer stops at the
+  // seed and the ribbon degrades to a cheap point quad. Local speed over the
+  // field max is the one-sample predictor of that, with a floor for the
+  // degraded quad's fixed cost. Point/ellipse spots cost the same
+  // everywhere, so they keep uniform weights (empty result).
+  if (synthesis_.kind != SpotKind::kBent) return {};
+  const double max_mag = job_field_->max_magnitude();
+  if (!(max_mag > 0.0)) return {};
+  constexpr double kDegradedQuadCost = 0.15;  // point quad vs full ribbon
+  std::vector<double> costs(spots.size());
+  for (std::size_t k = 0; k < spots.size(); ++k) {
+    const field::Vec2 v = job_field_->sample(spots[k].position);
+    const double speed = std::sqrt(v.x * v.x + v.y * v.y);
+    costs[k] = kDegradedQuadCost + std::min(speed / max_mag, 1.0);
+  }
+  return costs;
+}
+
+void DncSynthesizer::prepare_tiles(std::span<const SpotInstance> spots) {
+  if (dnc_.tile_strategy != TileStrategy::kCostBalanced || spots.empty()) return;
+  const std::vector<double> costs = estimate_spot_costs(spots);
+  std::vector<Tile> tiles =
+      make_balanced_tiles(synthesis_.texture_width, synthesis_.texture_height,
+                          dnc_.pipes, spots, job_generator_->mapping(), costs);
+  // Reshape only the pipes whose region actually moved; for a static spot
+  // set this settles after the first frame.
+  for (int g = 0; g < dnc_.pipes; ++g) {
+    Group& group = *groups_[static_cast<std::size_t>(g)];
+    const Tile& old_tile = tiles_[static_cast<std::size_t>(g)];
+    const Tile& new_tile = tiles[static_cast<std::size_t>(g)];
+    if (new_tile.width != old_tile.width || new_tile.height != old_tile.height) {
+      group.pipe->resize_target(new_tile.width, new_tile.height);
+    }
+    if (new_tile.x0 != old_tile.x0 || new_tile.y0 != old_tile.y0) {
+      group.pipe->set_viewport_origin(static_cast<float>(new_tile.x0),
+                                      static_cast<float>(new_tile.y0));
+    }
+  }
+  tiles_ = std::move(tiles);
+}
+
 FrameStats DncSynthesizer::synthesize(const field::VectorField& f,
                                       std::span<const SpotInstance> spots) {
   const util::Stopwatch frame_watch;
@@ -107,16 +162,19 @@ FrameStats DncSynthesizer::synthesize(const field::VectorField& f,
 
   // --- preprocessing: partition the spot collection ---
   const util::Stopwatch assign_watch;
+  std::vector<std::int64_t> assigned(static_cast<std::size_t>(dnc_.pipes), 0);
   if (dnc_.tiled) {
+    prepare_tiles(spots);
     job_assignment_ = assign_spots_to_tiles(spots, job_generator_->mapping(),
                                             job_generator_->max_extent_px(), tiles_);
     for (int g = 0; g < dnc_.pipes; ++g) {
       Group& group = *groups_[static_cast<std::size_t>(g)];
       group.tile_indices = &job_assignment_.per_tile[static_cast<std::size_t>(g)];
-      group.work = std::make_unique<util::WorkCounter>(
-          static_cast<std::int64_t>(group.tile_indices->size()), dnc_.chunk_spots);
-      stats.spots_submitted +=
-          static_cast<std::int64_t>(group.tile_indices->size());
+      const auto n = static_cast<std::int64_t>(group.tile_indices->size());
+      group.total_items = n;
+      group.work->reset(n);
+      assigned[static_cast<std::size_t>(g)] = n;
+      stats.spots_submitted += n;
     }
     stats.duplicated_spots = job_assignment_.duplicates;
   } else {
@@ -129,12 +187,22 @@ FrameStats DncSynthesizer::synthesize(const field::VectorField& f,
       group.begin = begin;
       group.end = begin + share;
       begin += share;
-      group.work =
-          std::make_unique<util::WorkCounter>(share, dnc_.chunk_spots);
+      group.total_items = share;
+      group.work->reset(share);
+      assigned[static_cast<std::size_t>(g)] = share;
     }
     stats.spots_submitted = n;
   }
   stats.assign_seconds = assign_watch.seconds();
+
+  const std::int64_t assigned_total =
+      std::accumulate(assigned.begin(), assigned.end(), std::int64_t{0});
+  const std::int64_t assigned_max =
+      *std::max_element(assigned.begin(), assigned.end());
+  stats.imbalance = assigned_total > 0
+                        ? static_cast<double>(assigned_max) * dnc_.pipes /
+                              static_cast<double>(assigned_total)
+                        : 1.0;
 
   for (auto& group : groups_) group->pipe->reset_stats();
   bus_->reset_stats();
@@ -142,6 +210,24 @@ FrameStats DncSynthesizer::synthesize(const field::VectorField& f,
   // --- parallel phase: all process groups generate and render ---
   start_barrier_.arrive_and_wait();
   end_barrier_.arrive_and_wait();
+
+  if (frame_failed_.load(std::memory_order_acquire)) {
+    // Abandon the frame: discard whatever buffers were in flight, rearm the
+    // inboxes for the next frame and hand the first failure to the caller.
+    for (auto& group : groups_) {
+      while (group->inbox.try_pop()) {
+      }
+      group->inbox.reopen();
+    }
+    std::exception_ptr error;
+    {
+      std::lock_guard lock(error_mutex_);
+      error = std::exchange(frame_error_, nullptr);
+    }
+    frame_failed_.store(false, std::memory_order_release);
+    job_generator_.reset();
+    std::rethrow_exception(error);
+  }
 
   // --- sequential gather: the overhead term c of eq. 3.2 ---
   const util::Stopwatch gather_watch;
@@ -164,16 +250,28 @@ FrameStats DncSynthesizer::synthesize(const field::VectorField& f,
   stats.gather_seconds = gather_watch.seconds();
 
   // --- bookkeeping ---
-  for (const double s : worker_genP_) stats.genP_seconds += s;
+  for (const double s : worker_genP_) {
+    stats.genP_seconds += s;
+    stats.genP_critical_seconds = std::max(stats.genP_critical_seconds, s);
+  }
+  for (const double s : worker_steal_seconds_) stats.steal_seconds += s;
+  for (const std::int64_t n : worker_stolen_chunks_) stats.stolen_chunks += n;
+  for (const std::int64_t n : worker_stolen_spots_) stats.stolen_spots += n;
   for (auto& group : groups_) {
     const render::PipeStats ps = group->pipe->stats();
     stats.genT_seconds += ps.busy_seconds;
+    stats.genT_critical_seconds =
+        std::max(stats.genT_critical_seconds, ps.busy_seconds);
     stats.vertices += ps.vertices;
     stats.geometry_bytes += ps.bytes_received;
     stats.pipe_stall_seconds += ps.stall_seconds;
     stats.pipe_state_seconds += ps.state_seconds;
     stats.raster += ps.raster;
   }
+  stats.modeled_frame_seconds =
+      stats.assign_seconds +
+      std::max(stats.genP_critical_seconds, stats.genT_critical_seconds) +
+      stats.gather_seconds;
   stats.frame_seconds = frame_watch.seconds();
   job_generator_.reset();
   return stats;
@@ -186,19 +284,41 @@ void DncSynthesizer::worker_loop(int worker_id, int group_id, bool is_master) {
   while (true) {
     start_barrier_.arrive_and_wait();
     if (stop_) return;
-    worker_genP_[static_cast<std::size_t>(worker_id)] = 0.0;
-    if (is_master) {
-      run_master(group, worker_id);
-    } else {
-      run_slave(group, worker_id);
+    const auto w = static_cast<std::size_t>(worker_id);
+    worker_genP_[w] = 0.0;
+    worker_steal_seconds_[w] = 0.0;
+    worker_stolen_chunks_[w] = 0;
+    worker_stolen_spots_[w] = 0;
+    try {
+      if (is_master) {
+        run_master(group, group_id, worker_id);
+      } else {
+        run_slave(group, group_id, worker_id);
+      }
+    } catch (...) {
+      // A worker must never leave the frame protocol by exception: record
+      // it, unblock everyone, and still arrive at the end barrier so
+      // synthesize() can rethrow on the caller thread.
+      fail_frame(std::current_exception());
     }
     end_barrier_.arrive_and_wait();
   }
 }
 
+void DncSynthesizer::fail_frame(std::exception_ptr error) {
+  {
+    std::lock_guard lock(error_mutex_);
+    if (!frame_error_) frame_error_ = error;
+  }
+  frame_failed_.store(true, std::memory_order_release);
+  // Closing wakes blocked pops (masters) and makes blocked pushes (slaves,
+  // thieves) fail instead of waiting on a consumer that already bailed.
+  for (auto& group : groups_) group->inbox.close();
+}
+
 render::CommandBuffer DncSynthesizer::generate_chunk(
-    const Group& group, util::WorkCounter::Range range, int worker_id) {
-  const util::Stopwatch watch;
+    const Group& group, util::StealableWorkCounter::Range range, int worker_id) {
+  const util::ThreadCpuStopwatch watch;
   render::CommandBuffer buffer;
   buffer.reserve(static_cast<std::size_t>(range.size()),
                  static_cast<std::size_t>(synthesis_.vertices_per_spot()));
@@ -210,48 +330,134 @@ render::CommandBuffer DncSynthesizer::generate_chunk(
   return buffer;
 }
 
-void DncSynthesizer::run_master(Group& group, int worker_id) {
+DncSynthesizer::Group* DncSynthesizer::pick_victim(int group_id) {
+  Group* best = nullptr;
+  std::int64_t best_remaining = 0;
+  for (int g = 0; g < dnc_.pipes; ++g) {
+    if (g == group_id) continue;
+    const std::int64_t r = groups_[static_cast<std::size_t>(g)]->work->remaining();
+    if (r > best_remaining) {
+      best_remaining = r;
+      best = groups_[static_cast<std::size_t>(g)].get();
+    }
+  }
+  return best;
+}
+
+bool DncSynthesizer::steal_chunk(Group& victim, int worker_id, Message& out) {
+  const auto range = victim.work->steal(dnc_.chunk_spots);
+  if (range.empty()) return false;  // raced with the owner
+  const util::ThreadCpuStopwatch watch;
+  out.buffer = generate_chunk(victim, range, worker_id);
+  out.items = range.size();
+  out.done = false;
+  const auto w = static_cast<std::size_t>(worker_id);
+  worker_steal_seconds_[w] += watch.seconds();
+  worker_stolen_chunks_[w] += 1;
+  worker_stolen_spots_[w] += range.size();
+  return true;
+}
+
+bool DncSynthesizer::master_steal_once(Group& group, int group_id, int worker_id,
+                                       std::int64_t& items_done) {
+  Group* victim = pick_victim(group_id);
+  if (victim == nullptr) return false;
+  Message msg;
+  if (!steal_chunk(*victim, worker_id, msg)) return true;  // caller rescans
+  if (!dnc_.tiled) {
+    // Contiguous: every pipe renders the full texture and the gather blends
+    // by addition, so stolen geometry goes through the thief's own pipe.
+    group.pipe->submit(std::move(msg.buffer));
+    return true;
+  }
+  // Tiled: only the owning group's pipe renders the stolen region, so the
+  // buffer is routed back through the owner's inbox. A master must never
+  // block on a foreign inbox — two masters blocked on each other's full
+  // inbox would deadlock — so alternate try_push with draining its own.
+  while (!victim->inbox.try_push_or_keep(msg)) {
+    if (frame_failed_.load(std::memory_order_relaxed)) return true;
+    if (auto own = group.inbox.try_pop()) {
+      items_done += own->items;
+      group.pipe->submit(std::move(own->buffer));
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  return true;
+}
+
+void DncSynthesizer::run_master(Group& group, int group_id, int worker_id) {
   group.pipe->clear();
   int done_slaves = 0;
+  std::int64_t items_done = 0;
 
   auto handle = [&](Message& msg) {
     if (msg.done) {
       ++done_slaves;
     } else {
+      items_done += msg.items;
       group.pipe->submit(std::move(msg.buffer));
     }
   };
 
   while (true) {
-    // Forwarding slave buffers has priority: a starved pipe is worse than a
+    if (frame_failed_.load(std::memory_order_relaxed)) return;
+    // Forwarding buffers has priority: a starved pipe is worse than a
     // delayed chunk of master-side generation.
     if (auto msg = group.inbox.try_pop()) {
       handle(*msg);
       continue;
     }
     if (const auto range = group.work->claim(); !range.empty()) {
+      items_done += range.size();
       group.pipe->submit(generate_chunk(group, range, worker_id));
       continue;
     }
-    if (done_slaves < group.slave_count) {
-      if (auto msg = group.inbox.pop()) {
-        handle(*msg);
-        continue;
-      }
-      break;  // queue closed (shutdown)
+    if (dnc_.steal && master_steal_once(group, group_id, worker_id, items_done)) {
+      continue;
     }
-    break;  // all work claimed, all slaves drained
+    // Out of immediate work. Contiguous termination: every slave has sent
+    // its done marker (slaves only do so once no counter anywhere has work
+    // left). Tiled termination: every spot assigned to this group has been
+    // submitted to the pipe, whether generated here, by a slave, or by a
+    // foreign thief.
+    const bool waiting = dnc_.tiled ? items_done < group.total_items
+                                    : done_slaves < group.slave_count;
+    if (!waiting) break;
+    if (auto msg = group.inbox.pop()) {
+      handle(*msg);
+      continue;
+    }
+    return;  // inbox closed: the frame failed under us
   }
   group.pipe->finish();
 }
 
-void DncSynthesizer::run_slave(Group& group, int worker_id) {
-  while (true) {
+void DncSynthesizer::run_slave(Group& group, int group_id, int worker_id) {
+  while (!frame_failed_.load(std::memory_order_relaxed)) {
     const auto range = group.work->claim();
     if (range.empty()) break;
-    group.inbox.push({generate_chunk(group, range, worker_id), false});
+    Message msg{generate_chunk(group, range, worker_id), range.size(), false};
+    if (!group.inbox.push(std::move(msg))) return;  // closed: frame failed
   }
-  group.inbox.push({{}, true});
+  if (dnc_.steal) {
+    while (!frame_failed_.load(std::memory_order_relaxed)) {
+      Group* victim = pick_victim(group_id);
+      if (victim == nullptr) break;
+      Message msg;
+      if (!steal_chunk(*victim, worker_id, msg)) continue;  // raced; rescan
+      // Contiguous: hand stolen geometry to this slave's own master (any
+      // pipe may render it). Tiled: route it to the owning group's master.
+      Group& dest = dnc_.tiled ? *victim : group;
+      if (!dest.inbox.push(std::move(msg))) return;
+    }
+  }
+  if (!dnc_.tiled) {
+    // The done marker exists only in contiguous mode; tiled masters count
+    // delivered spots instead, and a marker pushed after such a master
+    // finished would leak into the next frame.
+    (void)group.inbox.push({{}, 0, true});
+  }
 }
 
 }  // namespace dcsn::core

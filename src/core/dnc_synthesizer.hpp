@@ -18,14 +18,28 @@
 // location in a preprocessing step, spots near boundaries are duplicated
 // into every region they may touch, and the final compose is a cheap copy.
 //
+// Scheduling is load-balanced (see docs/ARCHITECTURE.md, "Scheduling & load
+// balancing"): every group's spot set sits behind a StealableWorkCounter,
+// and once a worker's own group drains it steals chunk ranges from the most
+// loaded group. In contiguous mode stolen geometry is submitted through the
+// thief's own master/pipe (every pipe renders the full texture, addition
+// commutes); in tiled mode it is routed back to the owning group's inbox,
+// because only that group's pipe renders the owning region. Tiled mode can
+// additionally derive its regions from the frame's spot distribution
+// (TileStrategy::kCostBalanced), splitting the texture into regions of
+// approximately equal work instead of a fixed grid.
+//
 // Process groups persist across frames; synthesize() is called once per
 // animation frame with that frame's field and spot set, which is what makes
 // the algorithm usable for the paper's interactive steering and browsing
 // applications.
 #pragma once
 
+#include <atomic>
 #include <barrier>
+#include <exception>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -40,6 +54,12 @@
 #include "util/threading.hpp"
 
 namespace dcsn::core {
+
+/// How tiled mode carves the texture into per-pipe regions.
+enum class TileStrategy {
+  kGrid,          ///< fixed near-square grid, independent of the spots
+  kCostBalanced,  ///< per-frame kd-cut balancing per-region spot work
+};
 
 struct DncConfig {
   int processors = 4;  ///< total worker threads (masters included), the nP of eq. 3.2
@@ -58,6 +78,12 @@ struct DncConfig {
   std::size_t pipe_queue_capacity = 64;
   /// Texture decomposition instead of full-texture gather-blend.
   bool tiled = false;
+  /// Region layout in tiled mode (ignored otherwise).
+  TileStrategy tile_strategy = TileStrategy::kGrid;
+  /// Cross-group work stealing: idle workers pull chunk ranges from the most
+  /// loaded group once their own group's counter drains. Off reproduces the
+  /// static partition (the bench_ablation_balance baseline).
+  bool steal = true;
 };
 
 /// Everything measured about one synthesized frame. The benches derive the
@@ -78,9 +104,33 @@ struct FrameStats {
   double pipe_state_seconds = 0.0;   ///< pipes executing state changes
   render::RasterStats raster;
 
+  // Load-balance accounting.
+  std::int64_t stolen_chunks = 0;  ///< chunk ranges taken across groups
+  std::int64_t stolen_spots = 0;   ///< spots inside those ranges
+  double steal_seconds = 0.0;      ///< CPU time generating stolen chunks (subset of genP)
+  /// Static-partition imbalance: max over groups of assigned spots divided
+  /// by the per-group mean (1.0 = perfectly even). Measured before stealing.
+  double imbalance = 1.0;
+
+  // Eq. 3.2 critical path, from per-thread CPU clocks. genP/genT attribution
+  // uses CPU time (ThreadCpuStopwatch), so these stay meaningful when the
+  // host has fewer cores than workers + pipes — wall-clock frame_seconds on
+  // such a host serializes everything and cannot show a balancing win.
+  double genP_critical_seconds = 0.0;  ///< max over workers of generation CPU
+  double genT_critical_seconds = 0.0;  ///< max over pipes of busy CPU
+  /// assign + max(genP critical, genT critical) + gather: the frame time a
+  /// host with one core per worker and pipe would see (generation overlaps
+  /// rendering, pipes run concurrently, pre/post processing is sequential).
+  double modeled_frame_seconds = 0.0;
+
   /// Textures per second as the paper's tables report it.
   [[nodiscard]] double textures_per_second() const {
     return frame_seconds > 0.0 ? 1.0 / frame_seconds : 0.0;
+  }
+
+  /// Textures per second on the modeled fully-parallel host.
+  [[nodiscard]] double modeled_textures_per_second() const {
+    return modeled_frame_seconds > 0.0 ? 1.0 / modeled_frame_seconds : 0.0;
   }
 };
 
@@ -93,6 +143,9 @@ class DncSynthesizer {
   DncSynthesizer& operator=(const DncSynthesizer&) = delete;
 
   /// Synthesizes one texture. `f` and `spots` must stay valid for the call.
+  /// If a worker thread throws (e.g. a DCSN_CHECK inside spot generation),
+  /// the frame is abandoned and the first exception is rethrown here; the
+  /// engine stays usable for subsequent frames.
   FrameStats synthesize(const field::VectorField& f,
                         std::span<const SpotInstance> spots);
 
@@ -105,25 +158,44 @@ class DncSynthesizer {
  private:
   struct Message {
     render::CommandBuffer buffer;
-    bool done = false;  ///< slave finished its share of the frame
+    std::int64_t items = 0;  ///< spots covered by `buffer` (tiled accounting)
+    bool done = false;       ///< slave finished its share of the frame
   };
 
   struct Group {
     std::unique_ptr<render::GraphicsPipe> pipe;
     util::BoundedQueue<Message> inbox{256};
-    std::unique_ptr<util::WorkCounter> work;  ///< over the group's local indices
+    std::unique_ptr<util::StealableWorkCounter> work;  ///< over the group's local indices
     const std::vector<std::int64_t>* tile_indices = nullptr;  ///< tiled mode
     std::int64_t begin = 0;  ///< contiguous mode: global range [begin, end)
     std::int64_t end = 0;
+    std::int64_t total_items = 0;  ///< spots assigned to this group this frame
     int slave_count = 0;
   };
 
   void worker_loop(int worker_id, int group_id, bool is_master);
-  void run_master(Group& group, int worker_id);
-  void run_slave(Group& group, int worker_id);
+  void run_master(Group& group, int group_id, int worker_id);
+  void run_slave(Group& group, int group_id, int worker_id);
   render::CommandBuffer generate_chunk(const Group& group,
-                                       util::WorkCounter::Range range,
+                                       util::StealableWorkCounter::Range range,
                                        int worker_id);
+  /// Largest-remainder victim for a thief from `group_id`; null when every
+  /// other group is drained.
+  [[nodiscard]] Group* pick_victim(int group_id);
+  /// Steals one chunk from `victim` and generates it into `out`, charging
+  /// the thief's steal accounting. False when the steal raced with the
+  /// owner and nothing was taken.
+  bool steal_chunk(Group& victim, int worker_id, Message& out);
+  /// Relative per-spot cost weights for the kd-cut; empty means uniform.
+  [[nodiscard]] std::vector<double> estimate_spot_costs(
+      std::span<const SpotInstance> spots) const;
+  /// One steal attempt on behalf of a master; returns true if work was done.
+  bool master_steal_once(Group& group, int group_id, int worker_id,
+                         std::int64_t& items_done);
+  /// Records the first failure, closes every inbox so no worker stays
+  /// blocked, and marks the frame failed.
+  void fail_frame(std::exception_ptr error);
+  void prepare_tiles(std::span<const SpotInstance> spots);
   [[nodiscard]] std::int64_t global_index(const Group& group, std::int64_t local) const;
 
   SynthesisConfig synthesis_;
@@ -141,7 +213,17 @@ class DncSynthesizer {
   TileAssignment job_assignment_;
   bool stop_ = false;
 
-  std::vector<double> worker_genP_;  ///< per-worker CPU seconds, last frame
+  // Frame failure protocol: the first worker to throw stores its exception,
+  // flips the flag, and closes every inbox; everyone else drains to the end
+  // barrier and synthesize() rethrows.
+  std::atomic<bool> frame_failed_{false};
+  std::mutex error_mutex_;
+  std::exception_ptr frame_error_;
+
+  std::vector<double> worker_genP_;   ///< per-worker CPU seconds, last frame
+  std::vector<double> worker_steal_seconds_;
+  std::vector<std::int64_t> worker_stolen_chunks_;
+  std::vector<std::int64_t> worker_stolen_spots_;
   std::barrier<> start_barrier_;
   std::barrier<> end_barrier_;
   std::vector<std::jthread> workers_;  // last member: join before teardown

@@ -25,8 +25,19 @@ struct Tile {
 };
 
 /// Splits a width x height texture into `count` tiles arranged in a
-/// near-square grid. Every pixel belongs to exactly one tile.
+/// near-square grid. Every pixel belongs to exactly one tile. Throws
+/// util::Error when the grid would need more columns or rows than the
+/// texture has pixels (which would produce empty tiles).
 [[nodiscard]] std::vector<Tile> make_tile_grid(int width, int height, int count);
+
+/// Splits the texture into `count` tiles of approximately equal *work* via a
+/// recursive kd-cut: each cut is placed where the accumulated spot cost
+/// balances the tile counts of the two sides. `spot_costs` weighs each spot
+/// (e.g. PerfModel's per-spot cost estimate); empty means uniform cost, i.e.
+/// balance per-tile spot counts. Every pixel belongs to exactly one tile.
+[[nodiscard]] std::vector<Tile> make_balanced_tiles(
+    int width, int height, int count, std::span<const SpotInstance> spots,
+    const render::WorldToImage& mapping, std::span<const double> spot_costs = {});
 
 struct TileAssignment {
   /// spot indices per tile, in ascending order

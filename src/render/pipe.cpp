@@ -30,6 +30,11 @@ void GraphicsPipe::set_viewport_origin(float x, float y) {
   queue_.push(CmdViewport{x, y});
 }
 
+void GraphicsPipe::resize_target(int width, int height) {
+  DCSN_CHECK(width > 0 && height > 0, "pipe target dimensions must be positive");
+  queue_.push(CmdResize{width, height});
+}
+
 void GraphicsPipe::clear(float value) { queue_.push(CmdClear{value}); }
 
 void GraphicsPipe::submit(CommandBuffer buffer) {
@@ -115,8 +120,20 @@ void GraphicsPipe::execute(Command& cmd) {
       pipe.viewport_y_ = c.y;
     }
 
-    void operator()(CmdClear& c) {
+    void operator()(CmdResize& c) {
       const util::Stopwatch watch;
+      pipe.pay_state_change();
+      pipe.target_ = Framebuffer(c.width, c.height);
+      std::lock_guard lock(pipe.stats_mutex_);
+      pipe.stats_.state_changes += 1;
+      pipe.stats_.state_seconds += watch.seconds();
+      pipe.stats_.busy_seconds += watch.seconds();
+    }
+
+    void operator()(CmdClear& c) {
+      // Raster-side work is attributed with the thread CPU clock so genT
+      // stays meaningful when pipes and workers outnumber the host's cores.
+      const util::ThreadCpuStopwatch watch;
       pipe.target_.clear(c.value);
       std::lock_guard lock(pipe.stats_mutex_);
       pipe.stats_.busy_seconds += watch.seconds();
@@ -139,7 +156,7 @@ void GraphicsPipe::execute(Command& cmd) {
         state_time += watch.seconds();
       }
 
-      const util::Stopwatch watch;
+      const util::ThreadCpuStopwatch watch;
       RasterStats raster;
       if (pipe.bound_profile_) {
         const RasterTarget target{pipe.target_.pixels(), pipe.viewport_x_,

@@ -83,6 +83,11 @@ class GraphicsPipe {
   /// in this pipe's (smaller) target — used by texture tiling.
   void set_viewport_origin(float x, float y);
 
+  /// Reallocates the render target (a state change; the old contents are
+  /// discarded). Lets the tiled engine reshape its regions between frames
+  /// when the cost-balanced tiling moves a cut.
+  void resize_target(int width, int height);
+
   /// Clears the render target to `value`.
   void clear(float value = 0.0f);
 
@@ -120,6 +125,9 @@ class GraphicsPipe {
   struct CmdViewport {
     float x, y;
   };
+  struct CmdResize {
+    int width, height;
+  };
   struct CmdClear {
     float value;
   };
@@ -131,8 +139,8 @@ class GraphicsPipe {
   struct CmdFence {
     std::promise<void> done;
   };
-  using Command =
-      std::variant<CmdBindProfile, CmdBlendMode, CmdViewport, CmdClear, CmdDraw, CmdFence>;
+  using Command = std::variant<CmdBindProfile, CmdBlendMode, CmdViewport, CmdResize,
+                               CmdClear, CmdDraw, CmdFence>;
 
   void server_loop(std::stop_token stop);
   void execute(Command& cmd);

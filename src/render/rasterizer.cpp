@@ -36,12 +36,21 @@ void raster_tri_impl(const RasterTarget& target, MeshVertex a, MeshVertex b,
   }
 
   const auto pixels = target.pixels;
-  const int x_min = std::max(0, static_cast<int>(std::floor(std::min({a.x, b.x, c.x}))));
-  const int x_max = std::min(pixels.width() - 1,
-                             static_cast<int>(std::ceil(std::max({a.x, b.x, c.x}))));
-  const int y_min = std::max(0, static_cast<int>(std::floor(std::min({a.y, b.y, c.y}))));
-  const int y_max = std::min(pixels.height() - 1,
-                             static_cast<int>(std::ceil(std::max({a.y, b.y, c.y}))));
+  const float min_x = std::min({a.x, b.x, c.x});
+  const float max_x = std::max({a.x, b.x, c.x});
+  const float min_y = std::min({a.y, b.y, c.y});
+  const float max_y = std::max({a.y, b.y, c.y});
+  const auto fw = static_cast<float>(pixels.width());
+  const auto fh = static_cast<float>(pixels.height());
+  // Reject off-target (or NaN-extent) boxes while still in float space; the
+  // negated comparisons make any NaN land in the reject branch.
+  if (!(min_x < fw) || !(min_y < fh) || !(max_x >= 0.0f) || !(max_y >= 0.0f)) return;
+  // Clamp to the target rect *before* the int cast: a far-off-screen vertex
+  // (|coordinate| beyond ~2^31) would make the unclamped cast undefined.
+  const int x_min = static_cast<int>(std::floor(std::clamp(min_x, 0.0f, fw - 1.0f)));
+  const int x_max = static_cast<int>(std::ceil(std::clamp(max_x, 0.0f, fw - 1.0f)));
+  const int y_min = static_cast<int>(std::floor(std::clamp(min_y, 0.0f, fh - 1.0f)));
+  const int y_max = static_cast<int>(std::ceil(std::clamp(max_y, 0.0f, fh - 1.0f)));
   if (x_min > x_max || y_min > y_max) return;
 
   // Edge functions in winding order; e_ab vanishes on edge a->b and is

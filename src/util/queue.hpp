@@ -46,6 +46,19 @@ class BoundedQueue {
     return true;
   }
 
+  /// Non-blocking push that leaves `value` intact when the queue is full or
+  /// closed, so the caller can retry later (try_push consumes its argument
+  /// either way).
+  bool try_push_or_keep(T& value) {
+    {
+      std::lock_guard lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(value));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
   /// Blocks while empty. Returns nullopt once closed and drained.
   std::optional<T> pop() {
     std::unique_lock lock(mutex_);

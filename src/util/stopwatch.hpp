@@ -8,6 +8,10 @@
 #include <chrono>
 #include <cstdint>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <time.h>
+#endif
+
 namespace dcsn::util {
 
 /// Monotonic stopwatch. Started on construction.
@@ -29,6 +33,38 @@ class Stopwatch {
 
  private:
   Clock::time_point start_;
+};
+
+/// Per-thread CPU-time stopwatch: counts only the time this thread actually
+/// executed, excluding preemption by other threads. This is the right clock
+/// for *attributing* work to a worker (genP, genT) on an oversubscribed
+/// host — with more worker threads than cores, wall-clock intervals charge a
+/// worker for time its neighbors ran, which breaks per-component accounting
+/// and every critical-path model built on it. Falls back to wall clock where
+/// no thread CPU clock exists.
+class ThreadCpuStopwatch {
+ public:
+  ThreadCpuStopwatch() noexcept : start_(now()) {}
+
+  void restart() noexcept { start_ = now(); }
+
+  /// CPU seconds this thread has executed since construction or restart().
+  [[nodiscard]] double seconds() const noexcept { return now() - start_; }
+
+ private:
+  [[nodiscard]] static double now() noexcept {
+#if defined(__unix__) || defined(__APPLE__)
+    timespec ts{};
+    if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+      return static_cast<double>(ts.tv_sec) + 1e-9 * static_cast<double>(ts.tv_nsec);
+    }
+#endif
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  double start_;
 };
 
 /// Accumulates busy time across many short intervals, e.g. total genP over
