@@ -1,6 +1,8 @@
 #include "bench_common.hpp"
 
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "field/analytic.hpp"
 #include "sim/dns_solver.hpp"
@@ -275,6 +277,95 @@ void check_footnote3(const Workload& workload, double bus_bytes_per_second,
   std::printf("  best measured: %d processors — the paper's expectation %s on "
               "this machine\n",
               best_procs, best_procs == 16 ? "holds" : "does not quite hold");
+}
+
+void JsonReport::put(const std::string& key, std::string rendered) {
+  for (auto& [existing, value] : entries_) {
+    if (existing == key) {
+      value = std::move(rendered);
+      return;
+    }
+  }
+  entries_.emplace_back(key, std::move(rendered));
+}
+
+void JsonReport::set(const std::string& key, double value) {
+  char buffer[64];
+  // %.17g round-trips doubles; JSON has no inf/nan, fall back to null.
+  if (std::isfinite(value)) {
+    std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  } else {
+    std::snprintf(buffer, sizeof buffer, "null");
+  }
+  put(key, buffer);
+}
+
+void JsonReport::set(const std::string& key, std::int64_t value) {
+  put(key, std::to_string(value));
+}
+
+void JsonReport::set(const std::string& key, bool value) {
+  put(key, value ? "true" : "false");
+}
+
+void JsonReport::set(const std::string& key, const std::string& value) {
+  std::string quoted = "\"";
+  for (const char c : value) {
+    switch (c) {
+      case '"': quoted += "\\\""; break;
+      case '\\': quoted += "\\\\"; break;
+      case '\n': quoted += "\\n"; break;
+      case '\t': quoted += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char esc[8];
+          std::snprintf(esc, sizeof esc, "\\u%04x", c);
+          quoted += esc;
+        } else {
+          quoted += c;
+        }
+    }
+  }
+  quoted += '"';
+  put(key, std::move(quoted));
+}
+
+bool JsonReport::write(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (!file) {
+    std::printf("warning: cannot open %s for the JSON report\n", path.c_str());
+    return false;
+  }
+  std::fprintf(file, "{\n");
+  for (std::size_t k = 0; k < entries_.size(); ++k) {
+    std::fprintf(file, "  \"%s\": %s%s\n", entries_[k].first.c_str(),
+                 entries_[k].second.c_str(),
+                 k + 1 < entries_.size() ? "," : "");
+  }
+  std::fprintf(file, "}\n");
+  std::fclose(file);
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
+std::string parse_json_path(int argc, char** argv) {
+  for (int k = 1; k < argc; ++k) {
+    if (std::string(argv[k]) == "--json") {
+      if (k + 1 >= argc) {
+        std::fprintf(stderr, "error: --json requires a path argument\n");
+        std::exit(2);
+      }
+      return argv[k + 1];
+    }
+  }
+  return {};
+}
+
+bool has_flag(int argc, char** argv, const std::string& name) {
+  for (int k = 1; k < argc; ++k) {
+    if (name == argv[k]) return true;
+  }
+  return false;
 }
 
 void write_csv(const std::string& path, const std::vector<Cell>& cells) {

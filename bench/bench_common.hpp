@@ -10,8 +10,10 @@
 // visible in every run.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/dnc_synthesizer.hpp"
@@ -104,5 +106,42 @@ void check_footnote3(const Workload& workload, double bus_bytes_per_second,
 
 /// Writes cells to a CSV next to the binary's working directory.
 void write_csv(const std::string& path, const std::vector<Cell>& cells);
+
+// ---------------------------------------------------------------------------
+// Machine-readable perf output (the BENCH_*.json trajectory)
+// ---------------------------------------------------------------------------
+
+/// Order-preserving key → value collection written as one flat JSON object.
+/// Benches fill one of these alongside their human-readable tables;
+/// scripts/bench.sh checks the result in as BENCH_*.json so later PRs can
+/// diff performance instead of guessing. Keys use dots for grouping
+/// ("span.frags_per_second") — flat on purpose, trivially greppable/diffable.
+class JsonReport {
+ public:
+  void set(const std::string& key, double value);
+  void set(const std::string& key, std::int64_t value);
+  void set(const std::string& key, bool value);
+  void set(const std::string& key, const std::string& value);
+  /// Without this overload a string literal would take the bool overload
+  /// (pointer-to-bool standard conversion beats std::string construction).
+  void set(const std::string& key, const char* value) {
+    set(key, std::string(value));
+  }
+
+  /// Writes the object (pretty-printed, one key per line). Returns false and
+  /// prints a warning if the file cannot be opened.
+  bool write(const std::string& path) const;
+
+ private:
+  void put(const std::string& key, std::string rendered);
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+/// The shared `--json <path>` bench convention: returns the path following
+/// the flag, or "" when absent.
+std::string parse_json_path(int argc, char** argv);
+
+/// True when `name` (e.g. "--smoke") appears in argv.
+bool has_flag(int argc, char** argv, const std::string& name);
 
 }  // namespace dcsn::bench

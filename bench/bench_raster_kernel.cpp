@@ -1,0 +1,279 @@
+// Ablation gate for the span-based scanline rasterizer (ISSUE 3).
+//
+// Workload: bent-spot ribbons traced through a swirl — the thin, curved,
+// high-aspect meshes central to the paper — pre-transformed into one big
+// CommandBuffer so the measurement isolates the fragment hot path. The
+// bench:
+//
+//   1. proves equivalence: identical pixel coverage (exact framebuffer
+//      match on a constant-texel clone of the geometry) and per-pixel
+//      values within 1e-5 under both blend modes;
+//   2. measures fragment throughput of kSpan vs kReference over repeated
+//      rasterization (thread-CPU clock, stable on loaded 1-core CI hosts);
+//   3. runs the whole DnC engine once per algorithm and reports the
+//      eq. 3.2 modeled frame seconds;
+//   4. gates: span must reach >= 2.0x reference throughput (1.5x with
+//      --smoke, whose workload is too small to amortize setup), else the
+//      process exits nonzero.
+//
+// usage: bench_raster_kernel [--smoke] [--json <path>]
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "bench_common.hpp"
+#include "core/spot_geometry.hpp"
+#include "core/spot_source.hpp"
+#include "field/analytic.hpp"
+#include "render/framebuffer.hpp"
+#include "render/rasterizer.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+using namespace dcsn;
+
+struct RibbonWorkload {
+  bench::Workload workload;        // for the eq. 3.2 engine runs
+  render::CommandBuffer geometry;  // pre-transformed meshes (kernel timing)
+  render::CommandBuffer coverage;  // same meshes, constant UV, unit weight
+  std::shared_ptr<const render::SpotProfile> profile;
+};
+
+RibbonWorkload make_ribbon_workload(bool smoke) {
+  RibbonWorkload r;
+  bench::Workload& w = r.workload;
+  w.name = smoke ? "bent ribbons (smoke)" : "bent ribbons";
+
+  // Solid rotation under a smooth envelope, exactly zero outside the core
+  // (same construction as the balance workload) — but every spot is seeded
+  // *inside* the core, so each one traces a full-length curved ribbon.
+  const field::Vec2 center{0.5, 0.5};
+  const double core_radius = 0.34;
+  const field::Rect domain{0, 0, 1, 1};
+  auto swirl = [center, core_radius](field::Vec2 p) -> field::Vec2 {
+    const double dx = p.x - center.x;
+    const double dy = p.y - center.y;
+    const double r2 = (dx * dx + dy * dy) / (core_radius * core_radius);
+    if (r2 >= 1.0) return {0.0, 0.0};
+    const double envelope = (1.0 - r2) * (1.0 - r2);
+    return {-dy * envelope, dx * envelope};
+  };
+  const double max_mag = core_radius * 0.2863;  // max of r * (1-(r/R)^2)^2
+  w.field = std::make_unique<field::CallableField>(swirl, domain, max_mag);
+
+  // Spot scale sits at the data-browser zoom level (the window feature:
+  // a domain sub-rectangle re-synthesized at full texture resolution), where
+  // ribbons span tens of pixels and the frame is genT-bound — exactly the
+  // regime where rasterizer throughput decides the frame rate. At overview
+  // zoom the paper's meshes tessellate below one pixel per quad and
+  // per-triangle setup dominates both algorithms equally.
+  w.synthesis.texture_width = smoke ? 256 : 512;
+  w.synthesis.texture_height = smoke ? 256 : 512;
+  w.synthesis.spot_count = smoke ? 250 : 700;
+  w.synthesis.kind = core::SpotKind::kBent;
+  w.synthesis.bent.mesh_cols = smoke ? 8 : 10;
+  w.synthesis.bent.mesh_rows = 3;
+  w.synthesis.bent.length_px = smoke ? 64.0 : 120.0;
+  w.synthesis.bent.trace_substeps = 8;
+  w.synthesis.spot_radius_px = smoke ? 12.0 : 19.0;
+  w.synthesis.intensity_scale =
+      core::SerialSynthesizer::natural_intensity(w.synthesis);
+
+  util::Rng rng(20260730);
+  const double half_box = core_radius * 0.6;
+  w.spots.reserve(static_cast<std::size_t>(w.synthesis.spot_count));
+  for (std::int64_t k = 0; k < w.synthesis.spot_count; ++k) {
+    core::SpotInstance spot;
+    spot.position = {rng.uniform(center.x - half_box, center.x + half_box),
+                     rng.uniform(center.y - half_box, center.y + half_box)};
+    spot.intensity = rng.intensity();
+    w.spots.push_back(spot);
+  }
+
+  // Pre-transform every spot once; the kernel timing then excludes genP.
+  const core::SpotGeometryGenerator generator(w.synthesis, *w.field);
+  r.geometry.reserve(w.spots.size(),
+                     static_cast<std::size_t>(w.synthesis.vertices_per_spot()));
+  for (const core::SpotInstance& spot : w.spots) {
+    generator.generate(spot, r.geometry);
+  }
+
+  // Constant-UV unit-weight clone: every covered pixel blends the exact
+  // same float quantum, so coverage differences cannot cancel or hide.
+  r.coverage.reserve(r.geometry.mesh_count(), 4);
+  for (const render::MeshHeader& h : r.geometry.meshes()) {
+    auto out = r.coverage.add_mesh(1.0f, h.cols, h.rows);
+    const auto in = r.geometry.vertices_of(h);
+    for (std::size_t k = 0; k < in.size(); ++k) {
+      out[k] = in[k];
+      out[k].u = 0.5f;
+      out[k].v = 0.5f;
+    }
+  }
+
+  r.profile = render::SpotProfile::make_shared(w.synthesis.profile_shape,
+                                               w.synthesis.profile_resolution);
+  return r;
+}
+
+render::RasterStats rasterize_once(const RibbonWorkload& r, render::Framebuffer& fb,
+                                   render::RasterAlgorithm algo,
+                                   render::BlendMode mode,
+                                   const render::CommandBuffer& buffer) {
+  render::RasterStats stats;
+  fb.clear();
+  render::rasterize_buffer({fb.pixels(), 0.0f, 0.0f, algo}, buffer, *r.profile,
+                           mode, stats);
+  return stats;
+}
+
+
+struct KernelRate {
+  double seconds = 0.0;
+  double frags_per_second = 0.0;
+  render::RasterStats stats;
+};
+
+KernelRate measure_kernel(const RibbonWorkload& r, render::Framebuffer& fb,
+                          render::RasterAlgorithm algo, double min_seconds) {
+  // One warm-up pass, then repeat whole-buffer rasterizations until the
+  // thread-CPU clock has accumulated a stable measurement.
+  (void)rasterize_once(r, fb, algo, render::BlendMode::kAdditive, r.geometry);
+  KernelRate rate;
+  std::int64_t reps = 0;
+  const util::ThreadCpuStopwatch watch;
+  do {
+    rate.stats = rasterize_once(r, fb, algo, render::BlendMode::kAdditive,
+                                r.geometry);
+    ++reps;
+    rate.seconds = watch.seconds();
+  } while (rate.seconds < min_seconds);
+  rate.frags_per_second =
+      static_cast<double>(rate.stats.fragments) * static_cast<double>(reps) /
+      rate.seconds;
+  return rate;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = bench::has_flag(argc, argv, "--smoke");
+  const std::string json_path = bench::parse_json_path(argc, argv);
+  const double gate = smoke ? 1.5 : 2.0;
+
+  std::printf("== span rasterizer ablation (%s workload) ==\n",
+              smoke ? "smoke" : "full");
+  const RibbonWorkload r = make_ribbon_workload(smoke);
+  const std::int64_t triangles = r.geometry.quad_count() * 2;
+  std::printf("  %zu ribbons, %lld quads, %dx%d target\n", r.geometry.mesh_count(),
+              static_cast<long long>(r.geometry.quad_count()),
+              r.workload.synthesis.texture_width,
+              r.workload.synthesis.texture_height);
+
+  render::Framebuffer fb(r.workload.synthesis.texture_width,
+                         r.workload.synthesis.texture_height);
+  render::Framebuffer other(fb.width(), fb.height());
+
+  // --- equivalence: values ---
+  const auto ref_stats = rasterize_once(r, fb, render::RasterAlgorithm::kReference,
+                                        render::BlendMode::kAdditive, r.geometry);
+  const auto span_stats = rasterize_once(r, other, render::RasterAlgorithm::kSpan,
+                                         render::BlendMode::kAdditive, r.geometry);
+  const float additive_dev = fb.max_abs_diff(other);
+  (void)rasterize_once(r, fb, render::RasterAlgorithm::kReference,
+                       render::BlendMode::kMaximum, r.geometry);
+  (void)rasterize_once(r, other, render::RasterAlgorithm::kSpan,
+                       render::BlendMode::kMaximum, r.geometry);
+  const float maximum_dev = fb.max_abs_diff(other);
+
+  // --- equivalence: exact coverage ---
+  (void)rasterize_once(r, fb, render::RasterAlgorithm::kReference,
+                       render::BlendMode::kAdditive, r.coverage);
+  (void)rasterize_once(r, other, render::RasterAlgorithm::kSpan,
+                       render::BlendMode::kAdditive, r.coverage);
+  const bool coverage_identical =
+      fb == other && ref_stats.fragments == span_stats.fragments;
+
+  const bool equivalent = coverage_identical && additive_dev <= 1e-5f &&
+                          maximum_dev <= 1e-5f;
+  std::printf("  equivalence: coverage %s, max deviation additive %.2e / max %.2e\n",
+              coverage_identical ? "identical" : "DIFFERS", additive_dev,
+              maximum_dev);
+
+  // --- throughput ---
+  const double min_seconds = smoke ? 0.15 : 0.8;
+  const KernelRate ref = measure_kernel(r, fb, render::RasterAlgorithm::kReference,
+                                        min_seconds);
+  const KernelRate span = measure_kernel(r, fb, render::RasterAlgorithm::kSpan,
+                                         min_seconds);
+  const double speedup = span.frags_per_second / ref.frags_per_second;
+  const auto ratio = [](const render::RasterStats& s) {
+    return s.pixels_visited > 0 ? static_cast<double>(s.fragments) /
+                                      static_cast<double>(s.pixels_visited)
+                                : 0.0;
+  };
+  std::printf("  reference: %8.2f Mfrag/s  (visited ratio %.3f)\n",
+              ref.frags_per_second / 1e6, ratio(ref.stats));
+  std::printf("  span:      %8.2f Mfrag/s  (visited ratio %.3f)\n",
+              span.frags_per_second / 1e6, ratio(span.stats));
+  std::printf("  speedup: %.2fx (gate: >= %.1fx)\n", speedup, gate);
+
+  // --- eq. 3.2 modeled frame time through the whole engine ---
+  core::DncConfig dnc;
+  dnc.processors = 2;
+  dnc.pipes = 1;
+  dnc.raster_algorithm = render::RasterAlgorithm::kReference;
+  const auto ref_rates = bench::measure_rates(r.workload, dnc, 1);
+  dnc.raster_algorithm = render::RasterAlgorithm::kSpan;
+  const auto span_rates = bench::measure_rates(r.workload, dnc, 1);
+  std::printf("  modeled frame (eq. 3.2): reference %.3fs, span %.3fs, genT %0.3fs -> %0.3fs\n",
+              ref_rates.stats.modeled_frame_seconds,
+              span_rates.stats.modeled_frame_seconds,
+              ref_rates.stats.genT_critical_seconds,
+              span_rates.stats.genT_critical_seconds);
+
+  if (!json_path.empty()) {
+    bench::JsonReport report;
+    report.set("bench", std::string("raster_kernel"));
+    report.set("mode", std::string(smoke ? "smoke" : "full"));
+    report.set("workload", r.workload.name);
+    report.set("texture_width", static_cast<std::int64_t>(fb.width()));
+    report.set("spots", r.workload.synthesis.spot_count);
+    report.set("triangles", triangles);
+    report.set("fragments", span.stats.fragments);
+    report.set("frags_per_triangle",
+               static_cast<double>(span.stats.fragments) /
+                   static_cast<double>(triangles));
+    report.set("ref.frags_per_second", ref.frags_per_second);
+    report.set("ref.visited_ratio", ratio(ref.stats));
+    report.set("ref.modeled_frame_seconds", ref_rates.stats.modeled_frame_seconds);
+    report.set("ref.genT_critical_seconds", ref_rates.stats.genT_critical_seconds);
+    report.set("span.frags_per_second", span.frags_per_second);
+    report.set("span.visited_ratio", ratio(span.stats));
+    report.set("span.modeled_frame_seconds",
+               span_rates.stats.modeled_frame_seconds);
+    report.set("span.genT_critical_seconds",
+               span_rates.stats.genT_critical_seconds);
+    report.set("speedup", speedup);
+    report.set("max_abs_deviation",
+               static_cast<double>(std::max(additive_dev, maximum_dev)));
+    report.set("coverage_identical", coverage_identical);
+    report.set("gate.threshold", gate);
+    report.set("gate.pass", equivalent && speedup >= gate);
+    report.write(json_path);
+  }
+
+  if (!equivalent) {
+    std::printf("FAIL: span/reference equivalence violated\n");
+    return 1;
+  }
+  if (speedup < gate) {
+    std::printf("FAIL: speedup %.2fx below the %.1fx gate\n", speedup, gate);
+    return 1;
+  }
+  std::printf("PASS\n");
+  return 0;
+}

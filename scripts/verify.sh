@@ -1,10 +1,15 @@
 #!/usr/bin/env bash
 # Tier-1 verification: configure + build + test in one command.
 #
-#   scripts/verify.sh            # Release build in ./build
-#   scripts/verify.sh --tsan     # also run the concurrency suites under
-#                                # ThreadSanitizer (build-tsan, opt-in: the
-#                                # instrumented build is ~10x slower)
+#   scripts/verify.sh                # Release build in ./build
+#   scripts/verify.sh --tsan         # also run the concurrency suites under
+#                                    # ThreadSanitizer (build-tsan, opt-in:
+#                                    # the instrumented build is ~10x slower)
+#   scripts/verify.sh --bench-smoke  # also run the rasterizer ablation gate
+#                                    # on its small workload (exits nonzero
+#                                    # if the span kernel loses its >=1.5x
+#                                    # margin or its equivalence to the
+#                                    # reference walk)
 #   BUILD_DIR=out scripts/verify.sh
 #   JOBS=8 scripts/verify.sh
 #
@@ -18,16 +23,27 @@ BUILD_DIR="${BUILD_DIR:-build}"
 JOBS="${JOBS:-$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)}"
 
 RUN_TSAN=0
+RUN_BENCH_SMOKE=0
 for arg in "$@"; do
   case "$arg" in
     --tsan) RUN_TSAN=1 ;;
-    *) echo "unknown argument: $arg (supported: --tsan)" >&2; exit 2 ;;
+    --bench-smoke) RUN_BENCH_SMOKE=1 ;;
+    *) echo "unknown argument: $arg (supported: --tsan, --bench-smoke)" >&2; exit 2 ;;
   esac
 done
 
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j "$JOBS"
 (cd "$BUILD_DIR" && ctest --output-on-failure -j "$JOBS")
+
+if [[ "$RUN_BENCH_SMOKE" -eq 1 ]]; then
+  # Small-workload run of the span-vs-reference rasterizer ablation: fails
+  # the build when kSpan drops below 1.5x kReference fragment throughput or
+  # the coverage/value equivalence breaks (full gate: scripts/bench.sh).
+  echo "== rasterizer bench smoke (bench_raster_kernel --smoke) =="
+  cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_raster_kernel
+  "$BUILD_DIR/bench/bench_raster_kernel" --smoke
+fi
 
 if [[ "$RUN_TSAN" -eq 1 ]]; then
   # The scheduler's cross-group stealing and the pipe/queue machinery are the

@@ -50,6 +50,7 @@ DncSynthesizer::DncSynthesizer(SynthesisConfig synthesis, DncConfig dnc)
     pc.state_change_seconds = dnc_.state_change_seconds;
     pc.raster_cost_multiplier = dnc_.raster_cost_multiplier;
     pc.queue_capacity = dnc_.pipe_queue_capacity;
+    pc.raster_algorithm = dnc_.raster_algorithm;
     group.pipe = std::make_unique<render::GraphicsPipe>(pc, bus_, g);
     group.work = std::make_unique<util::StealableWorkCounter>(0, dnc_.chunk_spots);
     // Initial pipe state: the spot profile texture and additive blending.

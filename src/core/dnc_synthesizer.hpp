@@ -75,6 +75,10 @@ struct DncConfig {
   double state_change_seconds = 20e-6;
   /// >1 slows rasterization to model a weaker pipe (ablations only).
   double raster_cost_multiplier = 1.0;
+  /// Triangle fill algorithm the pipes rasterize with. kSpan is the fast
+  /// span-based scanline kernel; kReference is the bbox-walk oracle
+  /// (equivalence tests, bench_raster_kernel ablation).
+  render::RasterAlgorithm raster_algorithm = render::RasterAlgorithm::kSpan;
   std::size_t pipe_queue_capacity = 64;
   /// Texture decomposition instead of full-texture gather-blend.
   bool tiled = false;

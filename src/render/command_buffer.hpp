@@ -29,6 +29,12 @@ struct MeshHeader {
   std::uint16_t cols = 0;
   std::uint16_t rows = 0;
   std::uint32_t vertex_offset = 0;  ///< index into the buffer's vertex array
+
+  /// Quadrilaterals this mesh scan-converts to (each is two triangles).
+  [[nodiscard]] std::int64_t quad_count() const {
+    if (cols < 2 || rows < 2) return 0;
+    return static_cast<std::int64_t>(cols - 1) * static_cast<std::int64_t>(rows - 1);
+  }
 };
 
 class CommandBuffer {
@@ -50,6 +56,14 @@ class CommandBuffer {
 
   [[nodiscard]] std::size_t mesh_count() const { return headers_.size(); }
   [[nodiscard]] std::size_t vertex_count() const { return vertices_.size(); }
+
+  /// Total quads across all meshes — the triangle count the rasterizer will
+  /// see is twice this. The benches use it for per-triangle ratios.
+  [[nodiscard]] std::int64_t quad_count() const {
+    std::int64_t quads = 0;
+    for (const MeshHeader& h : headers_) quads += h.quad_count();
+    return quads;
+  }
 
   /// Raw geometry bytes this buffer moves across the bus.
   [[nodiscard]] std::size_t byte_size() const {

@@ -1,8 +1,10 @@
 #include "render/framebuffer.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/error.hpp"
+#include "util/simd.hpp"
 
 namespace dcsn::render {
 
@@ -25,11 +27,7 @@ void Framebuffer::clear(float value) {
 void Framebuffer::accumulate(const Framebuffer& src) {
   DCSN_CHECK(src.width_ == width_ && src.height_ == height_,
              "accumulate requires equal framebuffer sizes");
-  float* __restrict__ d = data_.data();
-  const float* __restrict__ s = src.data_.data();
-  const std::size_t n = data_.size();
-#pragma omp simd
-  for (std::size_t i = 0; i < n; ++i) d[i] += s[i];
+  util::simd::add(data_.data(), src.data_.data(), data_.size());
 }
 
 void Framebuffer::copy_rect_from(const Framebuffer& src, int x0, int y0) {
@@ -40,6 +38,16 @@ void Framebuffer::copy_rect_from(const Framebuffer& src, int x0, int y0) {
     const auto src_row = src.pixels().row(y);
     std::copy(src_row.begin(), src_row.end(), pixels().row(y + y0).begin() + x0);
   }
+}
+
+float Framebuffer::max_abs_diff(const Framebuffer& other) const {
+  DCSN_CHECK(other.width_ == width_ && other.height_ == height_,
+             "max_abs_diff requires equal framebuffer sizes");
+  float worst = 0.0f;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    worst = std::max(worst, std::abs(data_[i] - other.data_[i]));
+  }
+  return worst;
 }
 
 std::pair<float, float> Framebuffer::min_max() const {

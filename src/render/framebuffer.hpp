@@ -45,6 +45,10 @@ class Framebuffer {
 
   [[nodiscard]] std::pair<float, float> min_max() const;
 
+  /// Largest absolute per-pixel difference to `other` (sizes must match) —
+  /// the metric the rasterizer equivalence tests and benches gate on.
+  [[nodiscard]] float max_abs_diff(const Framebuffer& other) const;
+
   /// Mean of all pixels — for a zero-mean spot population this should hover
   /// near zero, a property the tests assert.
   [[nodiscard]] double mean() const;

@@ -160,7 +160,7 @@ void GraphicsPipe::execute(Command& cmd) {
       RasterStats raster;
       if (pipe.bound_profile_) {
         const RasterTarget target{pipe.target_.pixels(), pipe.viewport_x_,
-                                  pipe.viewport_y_};
+                                  pipe.viewport_y_, pipe.config_.raster_algorithm};
         const int passes = static_cast<int>(pipe.config_.raster_cost_multiplier);
         const double frac = pipe.config_.raster_cost_multiplier - passes;
         for (int pass = 0; pass < passes; ++pass) {

@@ -47,6 +47,10 @@ struct PipeConfig {
   /// resource-balance ablation to move the saturation point; 1.0 = raw
   /// software rasterizer speed.
   double raster_cost_multiplier = 1.0;
+  /// Triangle fill algorithm for every draw on this pipe. kSpan is the
+  /// production hot path; kReference keeps the bbox walk selectable for
+  /// equivalence testing and the bench_raster_kernel ablation.
+  RasterAlgorithm raster_algorithm = RasterAlgorithm::kSpan;
 };
 
 struct PipeStats {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/simd.hpp"
+
 namespace dcsn::render {
 
 namespace {
@@ -14,10 +16,44 @@ inline bool is_top_left(float dx, float dy) {
   return (dy == 0.0f && dx > 0.0f) || dy < 0.0f;
 }
 
-template <BlendMode Mode>
-void raster_tri_impl(const RasterTarget& target, MeshVertex a, MeshVertex b,
-                     MeshVertex c, float weight, const SpotProfile& profile,
-                     RasterStats& stats) {
+// Edge function in winding order; it vanishes on the edge and is positive
+// inside. `origin` is the value at the bbox origin pixel center
+// (x_min + 0.5, y_min + 0.5); the value anywhere in the bbox is
+//
+//   value(kx, ky) = (origin + ky * dx) - kx * dy
+//
+// with kx = x - x_min, ky = y - y_min, every operation a single float
+// multiply/add — *not* an accumulation. Direct evaluation makes the value
+// at any pixel a pure function of (kx, ky), which is what lets the span
+// algorithm solve a row for its covered interval and still classify every
+// pixel bit-identically to the reference walk evaluating the same formula.
+struct Edge {
+  float dx = 0.0f, dy = 0.0f, origin = 0.0f;
+  bool top_left = false;
+};
+
+inline float edge_row_value(const Edge& e, int ky) {
+  return e.origin + static_cast<float>(ky) * e.dx;
+}
+inline float edge_value(const Edge& e, float row_value, int kx) {
+  return row_value - static_cast<float>(kx) * e.dy;
+}
+inline bool edge_admits(const Edge& e, float value) {
+  return value > 0.0f || (value == 0.0f && e.top_left);
+}
+
+// Everything the two fill algorithms share: target-local canonical-winding
+// vertices, the clamped pixel bbox, the three canonical edges, 1/area.
+struct TriSetup {
+  MeshVertex a, b, c;
+  int x_min = 0, x_max = 0, y_min = 0, y_max = 0;
+  Edge ab, bc, ca;
+  float inv_area = 0.0f;
+};
+
+// Rejects degenerate / non-finite / off-target triangles; fills `s` else.
+bool setup_triangle(const RasterTarget& target, MeshVertex a, MeshVertex b,
+                    MeshVertex c, TriSetup& s) {
   // Shift into target-local pixel coordinates.
   a.x -= target.origin_x;
   a.y -= target.origin_y;
@@ -29,83 +65,99 @@ void raster_tri_impl(const RasterTarget& target, MeshVertex a, MeshVertex b,
   // Signed doubled area; positive means screen-clockwise (our canonical
   // winding). Flip b/c to normalize — bent-spot ribbons can fold over.
   float area2 = (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
-  if (area2 == 0.0f || !std::isfinite(area2)) return;
+  if (area2 == 0.0f || !std::isfinite(area2)) return false;
   if (area2 < 0.0f) {
     std::swap(b, c);
     area2 = -area2;
   }
 
-  const auto pixels = target.pixels;
   const float min_x = std::min({a.x, b.x, c.x});
   const float max_x = std::max({a.x, b.x, c.x});
   const float min_y = std::min({a.y, b.y, c.y});
   const float max_y = std::max({a.y, b.y, c.y});
-  const auto fw = static_cast<float>(pixels.width());
-  const auto fh = static_cast<float>(pixels.height());
+  const auto fw = static_cast<float>(target.pixels.width());
+  const auto fh = static_cast<float>(target.pixels.height());
   // Reject off-target (or NaN-extent) boxes while still in float space; the
   // negated comparisons make any NaN land in the reject branch.
-  if (!(min_x < fw) || !(min_y < fh) || !(max_x >= 0.0f) || !(max_y >= 0.0f)) return;
+  if (!(min_x < fw) || !(min_y < fh) || !(max_x >= 0.0f) || !(max_y >= 0.0f)) {
+    return false;
+  }
   // Clamp to the target rect *before* the int cast: a far-off-screen vertex
   // (|coordinate| beyond ~2^31) would make the unclamped cast undefined.
-  const int x_min = static_cast<int>(std::floor(std::clamp(min_x, 0.0f, fw - 1.0f)));
-  const int x_max = static_cast<int>(std::ceil(std::clamp(max_x, 0.0f, fw - 1.0f)));
-  const int y_min = static_cast<int>(std::floor(std::clamp(min_y, 0.0f, fh - 1.0f)));
-  const int y_max = static_cast<int>(std::ceil(std::clamp(max_y, 0.0f, fh - 1.0f)));
-  if (x_min > x_max || y_min > y_max) return;
+  s.x_min = static_cast<int>(std::floor(std::clamp(min_x, 0.0f, fw - 1.0f)));
+  s.x_max = static_cast<int>(std::ceil(std::clamp(max_x, 0.0f, fw - 1.0f)));
+  s.y_min = static_cast<int>(std::floor(std::clamp(min_y, 0.0f, fh - 1.0f)));
+  s.y_max = static_cast<int>(std::ceil(std::clamp(max_y, 0.0f, fh - 1.0f)));
+  if (s.x_min > s.x_max || s.y_min > s.y_max) return false;
 
-  // Edge functions in winding order; e_ab vanishes on edge a->b and is
-  // positive inside. Values step by the edge deltas across the raster.
-  //
   // Watertightness: adjacent triangles traverse a shared edge in opposite
   // directions. Evaluating both against the *same* canonical endpoint
-  // ordering makes their edge values exact negations of each other, so a
-  // pixel on the seam is inside exactly one triangle (top-left rule breaks
-  // the e == 0 tie) and never falls through a rounding gap.
-  struct Edge {
-    float dx, dy, row_value;
-    bool top_left;
-  };
-  auto make_edge = [&](const MeshVertex& s, const MeshVertex& e) {
-    const bool swapped = (e.x < s.x) || (e.x == s.x && e.y < s.y);
-    const MeshVertex& lo = swapped ? e : s;
-    const MeshVertex& hi = swapped ? s : e;
+  // ordering makes their edge values exact negations of each other (every
+  // operation in edge construction and evaluation is negation-symmetric in
+  // IEEE arithmetic), so a pixel on the seam is inside exactly one triangle
+  // (top-left rule breaks the e == 0 tie) and never falls through a
+  // rounding gap.
+  auto make_edge = [&](const MeshVertex& from, const MeshVertex& to) {
+    const bool swapped = (to.x < from.x) || (to.x == from.x && to.y < from.y);
+    const MeshVertex& lo = swapped ? to : from;
+    const MeshVertex& hi = swapped ? from : to;
     const float cdx = hi.x - lo.x;
     const float cdy = hi.y - lo.y;
-    const float px = static_cast<float>(x_min) + 0.5f;
-    const float py = static_cast<float>(y_min) + 0.5f;
+    const float px = static_cast<float>(s.x_min) + 0.5f;
+    const float py = static_cast<float>(s.y_min) + 0.5f;
     const float canonical = cdx * (py - lo.y) - cdy * (px - lo.x);
-    // Negation is exact in IEEE arithmetic, so stepping the signed value by
-    // the signed deltas keeps the two traversals exact mirrors.
     const float sign = swapped ? -1.0f : 1.0f;
     Edge edge;
     edge.dx = sign * cdx;
     edge.dy = sign * cdy;
-    edge.row_value = sign * canonical;
+    edge.origin = sign * canonical;
     edge.top_left = is_top_left(edge.dx, edge.dy);
     return edge;
   };
-  Edge e_ab = make_edge(a, b);  // weight for c
-  Edge e_bc = make_edge(b, c);  // weight for a
-  Edge e_ca = make_edge(c, a);  // weight for b
+  s.ab = make_edge(a, b);  // weight for c
+  s.bc = make_edge(b, c);  // weight for a
+  s.ca = make_edge(c, a);  // weight for b
+  s.a = a;
+  s.b = b;
+  s.c = c;
+  s.inv_area = 1.0f / area2;
+  return true;
+}
 
-  const float inv_area = 1.0f / area2;
+// ---------------------------------------------------------------------------
+// kReference: the bounding-box walk. Every bbox pixel evaluates all three
+// edge functions; covered fragments take the branchy bounds-checked
+// SpotProfile::sample. This is the algorithm the span kernel is proven
+// against, kept selectable for equivalence tests and ablation benches.
+// ---------------------------------------------------------------------------
+
+template <BlendMode Mode>
+void raster_tri_reference(const RasterTarget& target, MeshVertex va, MeshVertex vb,
+                          MeshVertex vc, float weight, const SpotProfile& profile,
+                          RasterStats& stats) {
+  TriSetup s;
+  if (!setup_triangle(target, va, vb, vc, s)) return;
+
+  const auto pixels = target.pixels;
   std::int64_t fragments = 0;
-
-  for (int y = y_min; y <= y_max; ++y) {
-    float v_ab = e_ab.row_value;
-    float v_bc = e_bc.row_value;
-    float v_ca = e_ca.row_value;
+  for (int y = s.y_min; y <= s.y_max; ++y) {
+    const int ky = y - s.y_min;
+    const float r_ab = edge_row_value(s.ab, ky);
+    const float r_bc = edge_row_value(s.bc, ky);
+    const float r_ca = edge_row_value(s.ca, ky);
     float* row = &pixels(0, y);
-    for (int x = x_min; x <= x_max; ++x) {
-      const bool in_ab = v_ab > 0.0f || (v_ab == 0.0f && e_ab.top_left);
-      const bool in_bc = v_bc > 0.0f || (v_bc == 0.0f && e_bc.top_left);
-      const bool in_ca = v_ca > 0.0f || (v_ca == 0.0f && e_ca.top_left);
-      if (in_ab && in_bc && in_ca) {
-        const float wa = v_bc * inv_area;
-        const float wb = v_ca * inv_area;
-        const float wc = v_ab * inv_area;
-        const float u = wa * a.u + wb * b.u + wc * c.u;
-        const float v = wa * a.v + wb * b.v + wc * c.v;
+    for (int x = s.x_min; x <= s.x_max; ++x) {
+      const int kx = x - s.x_min;
+      const float v_ab = edge_value(s.ab, r_ab, kx);
+      const float v_bc = edge_value(s.bc, r_bc, kx);
+      const float v_ca = edge_value(s.ca, r_ca, kx);
+      if (edge_admits(s.ab, v_ab) && edge_admits(s.bc, v_bc) &&
+          edge_admits(s.ca, v_ca)) {
+        const float wa = v_bc * s.inv_area;
+        const float wb = v_ca * s.inv_area;
+        const float wc = v_ab * s.inv_area;
+        const float u = wa * s.a.u + wb * s.b.u + wc * s.c.u;
+        const float v = wa * s.a.v + wb * s.b.v + wc * s.c.v;
         const float texel = profile.sample(u, v);
         if constexpr (Mode == BlendMode::kAdditive) {
           row[x] += weight * texel;
@@ -114,36 +166,257 @@ void raster_tri_impl(const RasterTarget& target, MeshVertex a, MeshVertex b,
         }
         ++fragments;
       }
-      // de/dx = -dy
-      v_ab -= e_ab.dy;
-      v_bc -= e_bc.dy;
-      v_ca -= e_ca.dy;
     }
-    // de/dy = +dx
-    e_ab.row_value += e_ab.dx;
-    e_bc.row_value += e_bc.dx;
-    e_ca.row_value += e_ca.dx;
   }
   ++stats.triangles;
   stats.fragments += fragments;
+  stats.pixels_visited += static_cast<std::int64_t>(s.x_max - s.x_min + 1) *
+                          static_cast<std::int64_t>(s.y_max - s.y_min + 1);
 }
 
-}  // namespace
+// ---------------------------------------------------------------------------
+// kSpan: scanline span solve + incremental row kernel.
+// ---------------------------------------------------------------------------
 
-void rasterize_triangle(const RasterTarget& target, const MeshVertex& a,
-                        const MeshVertex& b, const MeshVertex& c, float weight,
-                        const SpotProfile& profile, BlendMode mode,
-                        RasterStats& stats) {
-  if (mode == BlendMode::kAdditive) {
-    raster_tri_impl<BlendMode::kAdditive>(target, a, b, c, weight, profile, stats);
-  } else {
-    raster_tri_impl<BlendMode::kMaximum>(target, a, b, c, weight, profile, stats);
+// One edge's contribution to a row's covered interval, classified once per
+// triangle by the sign of dy (fixed across the raster):
+//
+//   dy > 0 — edge values fall with kx, the admitted set is a prefix: the
+//            edge bounds the span on the right;
+//   dy < 0 — values rise with kx, admitted set is a suffix: a left bound;
+//   dy == 0 — constant across the row: admits the whole row or none of it.
+//
+// Admission must be bit-identical to edge_admits(e, edge_value(e, r, kx)):
+// edge_value = fl(r - m) with m = fl(kx * dy); fl(r - m) > 0 iff r > m and
+// fl(r - m) == 0 iff r == m (IEEE subtraction preserves sign and is zero
+// only for equal operands), so admission reduces to the exact comparison
+// m < r, or m <= r on a top-left edge.
+//
+// `base + ky * slope` is the x-intercept of the edge's zero line in row ky
+// (the per-triangle divisions buy division-free span seeding in every row).
+// Its rounding never matters: the fixup loops in the solver decide with the
+// exact comparison and only walk farther when the seed is off, which the
+// ~1e-4-pixel seed error never causes in practice.
+struct RowBound {
+  float dy = 0.0f, dx = 0.0f, origin = 0.0f;
+  bool top_left = false;
+  double base = 0.0, slope = 0.0;
+};
+
+// Seed clamped to [0, len]; NaN (overflowed intercepts) seeds 0.
+inline int seed_from(double est, int len) {
+  if (est >= static_cast<double>(len)) return len;
+  if (est > 0.0) return static_cast<int>(est);
+  return 0;
+}
+
+template <BlendMode Mode>
+void raster_tri_span(const RasterTarget& target, MeshVertex va, MeshVertex vb,
+                     MeshVertex vc, float weight, const SpotProfile& profile,
+                     RasterStats& stats) {
+  TriSetup s;
+  if (!setup_triangle(target, va, vb, vc, s)) return;
+
+  const auto pixels = target.pixels;
+  const int len = s.x_max - s.x_min + 1;
+
+  // Classify the three edges once (dy's sign is fixed across the raster)
+  // and precompute each sloped edge's x-intercept line.
+  RowBound flat[3], left[3], right[3];
+  int n_flat = 0, n_left = 0, n_right = 0;
+  const Edge* edges[3] = {&s.ab, &s.bc, &s.ca};
+  for (const Edge* e : edges) {
+    RowBound b;
+    b.dy = e->dy;
+    b.dx = e->dx;
+    b.origin = e->origin;
+    b.top_left = e->top_left;
+    if (e->dy == 0.0f) {
+      flat[n_flat++] = b;
+      continue;
+    }
+    b.base = static_cast<double>(e->origin) / static_cast<double>(e->dy);
+    b.slope = static_cast<double>(e->dx) / static_cast<double>(e->dy);
+    if (e->dy > 0.0f) {
+      right[n_right++] = b;
+    } else {
+      left[n_left++] = b;
+    }
   }
+
+  // Barycentric weights are affine across the raster, so UV is evaluated as
+  // U00 + ky*du_dy + kx*du_dx with per-triangle double constants: within
+  // ~1 ulp of the exact affine function anywhere in the bbox, no error
+  // accumulation along the row. (On needle triangles this is *more*
+  // accurate than the reference's cancellation-noisy float barycentric —
+  // the equivalence tolerance there absorbs the reference's own noise.)
+  // d(v_bc)/dkx = -bc.dy weights a, d(v_bc)/dky = +bc.dx, and cyclically.
+  const double inv_area = static_cast<double>(s.inv_area);
+  const double U00 = (static_cast<double>(s.bc.origin) * s.a.u +
+                      static_cast<double>(s.ca.origin) * s.b.u +
+                      static_cast<double>(s.ab.origin) * s.c.u) *
+                     inv_area;
+  const double V00 = (static_cast<double>(s.bc.origin) * s.a.v +
+                      static_cast<double>(s.ca.origin) * s.b.v +
+                      static_cast<double>(s.ab.origin) * s.c.v) *
+                     inv_area;
+  const double du_dx = -(static_cast<double>(s.bc.dy) * s.a.u +
+                         static_cast<double>(s.ca.dy) * s.b.u +
+                         static_cast<double>(s.ab.dy) * s.c.u) *
+                       inv_area;
+  const double dv_dx = -(static_cast<double>(s.bc.dy) * s.a.v +
+                         static_cast<double>(s.ca.dy) * s.b.v +
+                         static_cast<double>(s.ab.dy) * s.c.v) *
+                       inv_area;
+  const double du_dy = (static_cast<double>(s.bc.dx) * s.a.u +
+                        static_cast<double>(s.ca.dx) * s.b.u +
+                        static_cast<double>(s.ab.dx) * s.c.u) *
+                       inv_area;
+  const double dv_dy = (static_cast<double>(s.bc.dx) * s.a.v +
+                        static_cast<double>(s.ca.dx) * s.b.v +
+                        static_cast<double>(s.ab.dx) * s.c.v) *
+                       inv_area;
+
+  SpotProfile::RowSampler sampler(profile, du_dx, dv_dx);
+
+  constexpr int kRowTile = 256;    // texel staging for the simd blend kernels
+  constexpr int kStagedSpan = 16;  // below this, fused blending wins
+  float texels[kRowTile];
+
+  std::int64_t fragments = 0;
+  std::int64_t visited = 0;
+  for (int y = s.y_min; y <= s.y_max; ++y) {
+    const int ky = y - s.y_min;
+    const float kyf = static_cast<float>(ky);
+
+    // Solve the canonical edge functions for the covered interval [lo, hi).
+    // Each bound's row value r is the same float expression the reference
+    // walk evaluates (edge_row_value), and each boundary is settled by the
+    // exact admission comparison — coverage is bit-identical by
+    // construction.
+    int lo = 0;
+    int hi = len;
+    for (int i = 0; i < n_flat; ++i) {
+      const float r = flat[i].origin + kyf * flat[i].dx;
+      if (!(r > 0.0f || (r == 0.0f && flat[i].top_left))) hi = 0;
+    }
+    for (int i = 0; i < n_right; ++i) {
+      const RowBound& b = right[i];
+      const float r = b.origin + kyf * b.dx;
+      const auto admits = [&](int kx) {
+        const float m = static_cast<float>(kx) * b.dy;
+        return b.top_left ? (m <= r) : (m < r);
+      };
+      int k = seed_from(b.base + ky * b.slope, len);
+      while (k < len && admits(k)) ++k;
+      while (k > 0 && !admits(k - 1)) --k;
+      hi = std::min(hi, k);
+    }
+    for (int i = 0; i < n_left; ++i) {
+      const RowBound& b = left[i];
+      const float r = b.origin + kyf * b.dx;
+      const auto admits = [&](int kx) {
+        const float m = static_cast<float>(kx) * b.dy;
+        return b.top_left ? (m <= r) : (m < r);
+      };
+      int k = seed_from(b.base + ky * b.slope, len);
+      while (k < len && !admits(k)) ++k;
+      while (k > 0 && admits(k - 1)) --k;
+      lo = std::max(lo, k);
+    }
+    if (lo >= hi) continue;
+
+    const int n = hi - lo;
+    fragments += n;
+    visited += n;
+
+    // UV at the span's first pixel, from the per-triangle affine form.
+    const double u0 = U00 + ky * du_dy + lo * du_dx;
+    const double v0 = V00 + ky * dv_dy + lo * dv_dx;
+
+    // Bounds handling, hoisted: fragments whose UV leaves [0,1)^2 (float
+    // rounding at mesh seams, or genuinely off-profile geometry) sample
+    // zero. u and v are affine in k, so the in-range set is a sub-interval
+    // [s0, s1); scanning inward from the span ends with the exact per-k
+    // predicate costs one check per *out-of-range* fragment — almost always
+    // zero — and leaves the interior loop with no bounds checks at all.
+    const auto uv_in = [&](int k) {
+      const double u = u0 + k * du_dx;
+      const double v = v0 + k * dv_dx;
+      return u >= 0.0 && u < 1.0 && v >= 0.0 && v < 1.0;
+    };
+    int s0 = 0;
+    while (s0 < n && !uv_in(s0)) ++s0;
+    int s1 = n;
+    while (s1 > s0 && !uv_in(s1 - 1)) --s1;
+
+    float* dst = &pixels(0, y) + s.x_min + lo;
+    if constexpr (Mode == BlendMode::kMaximum) {
+      // The reference blends max(dst, weight * 0) on zero-texel fragments;
+      // replicate that on the out-of-range flanks.
+      util::simd::max_with(dst, weight * 0.0f, s0);
+      util::simd::max_with(dst + s1, weight * 0.0f, n - s1);
+    }
+    if (s0 < s1) {
+      const int m = s1 - s0;
+      // Rebase the sampler to the in-range sub-span start, which is in
+      // [0,1)^2 so the fixed-point position fits (and, for m >= 2, the end
+      // being in range bounds the step — see RowSampler).
+      sampler.start_row(u0 + s0 * du_dx, v0 + s0 * dv_dx);
+      float* frag = dst + s0;
+      if (m < kStagedSpan) {
+        // Short span: fused sample+blend, no staging overhead.
+        for (int k = 0; k < m; ++k) {
+          const float value = weight * sampler.sample_at(k);
+          if constexpr (Mode == BlendMode::kAdditive) {
+            frag[k] += value;
+          } else {
+            frag[k] = frag[k] < value ? value : frag[k];
+          }
+        }
+      } else {
+        // Long span: stage texels, then blend with the simd kernels.
+        int k = 0;
+        while (k < m) {
+          const int chunk = std::min(kRowTile, m - k);
+#pragma omp simd
+          for (int i = 0; i < chunk; ++i) texels[i] = sampler.sample_at(k + i);
+          if constexpr (Mode == BlendMode::kAdditive) {
+            util::simd::add_scaled(frag + k, texels, weight, chunk);
+          } else {
+            util::simd::max_scaled(frag + k, texels, weight, chunk);
+          }
+          k += chunk;
+        }
+      }
+    }
+  }
+  ++stats.triangles;
+  stats.fragments += fragments;
+  stats.pixels_visited += visited;
 }
 
-void rasterize_mesh(const RasterTarget& target, std::span<const MeshVertex> vertices,
-                    int cols, int rows, float weight, const SpotProfile& profile,
-                    BlendMode mode, RasterStats& stats) {
+// ---------------------------------------------------------------------------
+// Dispatch: blend mode and algorithm resolve to one instantiated kernel,
+// selected once per mesh / per command buffer instead of per triangle.
+// ---------------------------------------------------------------------------
+
+using TriKernel = void (*)(const RasterTarget&, MeshVertex, MeshVertex, MeshVertex,
+                           float, const SpotProfile&, RasterStats&);
+
+TriKernel select_kernel(BlendMode mode, RasterAlgorithm algorithm) {
+  const bool additive = mode == BlendMode::kAdditive;
+  if (algorithm == RasterAlgorithm::kSpan) {
+    return additive ? &raster_tri_span<BlendMode::kAdditive>
+                    : &raster_tri_span<BlendMode::kMaximum>;
+  }
+  return additive ? &raster_tri_reference<BlendMode::kAdditive>
+                  : &raster_tri_reference<BlendMode::kMaximum>;
+}
+
+void mesh_with_kernel(TriKernel kernel, const RasterTarget& target,
+                      std::span<const MeshVertex> vertices, int cols, int rows,
+                      float weight, const SpotProfile& profile, RasterStats& stats) {
   auto vertex = [&](int i, int j) -> const MeshVertex& {
     return vertices[static_cast<std::size_t>(j) * static_cast<std::size_t>(cols) +
                     static_cast<std::size_t>(i)];
@@ -154,18 +427,35 @@ void rasterize_mesh(const RasterTarget& target, std::span<const MeshVertex> vert
       const MeshVertex& v10 = vertex(i + 1, j);
       const MeshVertex& v11 = vertex(i + 1, j + 1);
       const MeshVertex& v01 = vertex(i, j + 1);
-      rasterize_triangle(target, v00, v10, v11, weight, profile, mode, stats);
-      rasterize_triangle(target, v00, v11, v01, weight, profile, mode, stats);
+      kernel(target, v00, v10, v11, weight, profile, stats);
+      kernel(target, v00, v11, v01, weight, profile, stats);
       ++stats.quads;
     }
   }
 }
 
+}  // namespace
+
+void rasterize_triangle(const RasterTarget& target, const MeshVertex& a,
+                        const MeshVertex& b, const MeshVertex& c, float weight,
+                        const SpotProfile& profile, BlendMode mode,
+                        RasterStats& stats) {
+  select_kernel(mode, target.algorithm)(target, a, b, c, weight, profile, stats);
+}
+
+void rasterize_mesh(const RasterTarget& target, std::span<const MeshVertex> vertices,
+                    int cols, int rows, float weight, const SpotProfile& profile,
+                    BlendMode mode, RasterStats& stats) {
+  mesh_with_kernel(select_kernel(mode, target.algorithm), target, vertices, cols,
+                   rows, weight, profile, stats);
+}
+
 void rasterize_buffer(const RasterTarget& target, const CommandBuffer& buffer,
                       const SpotProfile& profile, BlendMode mode, RasterStats& stats) {
+  const TriKernel kernel = select_kernel(mode, target.algorithm);
   for (const MeshHeader& h : buffer.meshes()) {
-    rasterize_mesh(target, buffer.vertices_of(h), h.cols, h.rows, h.intensity,
-                   profile, mode, stats);
+    mesh_with_kernel(kernel, target, buffer.vertices_of(h), h.cols, h.rows,
+                     h.intensity, profile, stats);
   }
 }
 

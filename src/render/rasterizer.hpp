@@ -8,6 +8,24 @@
 // bilinearly and blend into the float target — the software equivalent of
 // texture-mapped polygon rendering with additive blending on the
 // InfiniteReality.
+//
+// Two interchangeable triangle fill algorithms (RasterAlgorithm):
+//
+//   * kSpan (default) — a span-based scanline kernel. Per row the three
+//     canonical edge functions are solved for the exact covered interval
+//     [x_start, x_end); inside it u, v and the bilinear fetch are stepped
+//     with per-triangle constants (SpotProfile::RowSampler) and blended
+//     through the util::simd kernels — a straight-line add/fetch/blend with
+//     no per-fragment branches, and no iterations spent on rejected pixels.
+//   * kReference — the original bounding-box walk testing all three edge
+//     functions per pixel. Kept selectable for equivalence testing and for
+//     the bench_raster_kernel ablation.
+//
+// Both algorithms construct edges from the same canonical endpoint ordering
+// and evaluate every edge value with the same expression (direct multiply
+// from the canonical row origin), so their pixel coverage is bit-identical
+// — the fuzz suite in tests/test_rasterizer.cpp asserts exactly that — and
+// shared-edge watertightness (no seam gap, no double blend) is preserved.
 #pragma once
 
 #include <cstdint>
@@ -23,23 +41,36 @@ enum class BlendMode {
   kMaximum,   ///< dst = max(dst, w * tex) — used by some filtered variants
 };
 
+/// Triangle fill strategy. kSpan is the production hot path; kReference is
+/// the bbox-walk oracle it is measured and tested against.
+enum class RasterAlgorithm {
+  kSpan,       ///< scanline span solve + incremental row kernel
+  kReference,  ///< per-pixel bounding-box walk
+};
+
 /// Where fragments land. `origin_x/y` let a tile rasterize geometry that is
 /// expressed in full-texture coordinates (texture decomposition, paper §3).
 struct RasterTarget {
   util::Span2D<float> pixels;
   float origin_x = 0.0f;
   float origin_y = 0.0f;
+  RasterAlgorithm algorithm = RasterAlgorithm::kSpan;
 };
 
 struct RasterStats {
   std::int64_t triangles = 0;
   std::int64_t quads = 0;
-  std::int64_t fragments = 0;  ///< pixels actually blended
+  std::int64_t fragments = 0;  ///< pixels actually covered and blended
+  /// Inner-loop iterations: bbox area for kReference, span length for kSpan.
+  /// fragments / pixels_visited is the fill efficiency the span kernel buys;
+  /// bench_raster_kernel reports it as the visited ratio.
+  std::int64_t pixels_visited = 0;
 
   RasterStats& operator+=(const RasterStats& o) {
     triangles += o.triangles;
     quads += o.quads;
     fragments += o.fragments;
+    pixels_visited += o.pixels_visited;
     return *this;
   }
 };
@@ -51,12 +82,16 @@ void rasterize_triangle(const RasterTarget& target, const MeshVertex& a,
                         const SpotProfile& profile, BlendMode mode,
                         RasterStats& stats);
 
-/// Rasterizes a cols-x-rows mesh (row-major vertices) as its component quads.
+/// Rasterizes a cols-x-rows mesh (row-major vertices) as its component
+/// quads. Blend mode and algorithm are dispatched once per mesh, not per
+/// triangle.
 void rasterize_mesh(const RasterTarget& target, std::span<const MeshVertex> vertices,
                     int cols, int rows, float weight, const SpotProfile& profile,
                     BlendMode mode, RasterStats& stats);
 
-/// Rasterizes every mesh in a command buffer.
+/// Rasterizes every mesh in a command buffer. The profile/blend/algorithm
+/// dispatch is hoisted out of the mesh loop: the triangle kernel is selected
+/// once and passed down (all meshes of a buffer share pipe state).
 void rasterize_buffer(const RasterTarget& target, const CommandBuffer& buffer,
                       const SpotProfile& profile, BlendMode mode, RasterStats& stats);
 

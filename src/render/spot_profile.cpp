@@ -38,7 +38,10 @@ float shape_value(SpotShape shape, float r) {
 SpotProfile::SpotProfile(SpotShape shape, int resolution)
     : shape_(shape), res_(resolution) {
   DCSN_CHECK(resolution >= 2, "profile resolution must be at least 2");
-  table_.resize(static_cast<std::size_t>(res_) * static_cast<std::size_t>(res_));
+  // One padded row and column (duplicates of the last real ones) let the
+  // bilinear samplers fetch the +1 neighbour unconditionally.
+  const std::size_t stride = static_cast<std::size_t>(res_) + 1;
+  table_.resize(stride * stride);
   double integral = 0.0;
   for (int y = 0; y < res_; ++y) {
     for (int x = 0; x < res_; ++x) {
@@ -48,18 +51,30 @@ SpotProfile::SpotProfile(SpotShape shape, int resolution)
       const float dy = v - 0.5f;
       const float r = 2.0f * std::sqrt(dx * dx + dy * dy);  // 1 at inscribed rim
       const float value = shape_value(shape, r);
-      table_[static_cast<std::size_t>(y) * static_cast<std::size_t>(res_) +
-             static_cast<std::size_t>(x)] = value;
+      table_[static_cast<std::size_t>(y) * stride + static_cast<std::size_t>(x)] =
+          value;
       integral += value;
     }
   }
   // Normalize energy: scale so the mean over the unit square is 0.25 (the
   // disc's natural level ~ pi/4 / ~3). Keeps textures from different shapes
-  // at comparable contrast.
-  const double mean = integral / static_cast<double>(table_.size());
+  // at comparable contrast. (Padding excluded from the mean.)
+  const double mean =
+      integral / (static_cast<double>(res_) * static_cast<double>(res_));
   if (mean > 0.0) {
     const auto scale = static_cast<float>(0.25 / mean);
     for (float& v : table_) v *= scale;
+  }
+  // Fill the padding after normalization: copy the last real column into
+  // the padded one, then the last real row into the padded row.
+  for (int y = 0; y < res_; ++y) {
+    table_[static_cast<std::size_t>(y) * stride + static_cast<std::size_t>(res_)] =
+        table_[static_cast<std::size_t>(y) * stride +
+               static_cast<std::size_t>(res_ - 1)];
+  }
+  for (std::size_t x = 0; x < stride; ++x) {
+    table_[static_cast<std::size_t>(res_) * stride + x] =
+        table_[static_cast<std::size_t>(res_ - 1) * stride + x];
   }
 }
 

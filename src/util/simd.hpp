@@ -1,0 +1,52 @@
+// Portable SIMD kernel layer for the pixel hot paths.
+//
+// Every kernel is a restrict-qualified straight-line loop annotated with
+// `#pragma omp simd`. With OpenMP (or any compiler that honours the pragma)
+// the loop vectorizes; without it the pragma is ignored and the same code
+// runs as the scalar fallback — no intrinsics, no runtime dispatch, no
+// second code path to keep correct. Callers guarantee that `dst` and `src`
+// do not alias; the restrict qualifier is what licenses the vectorization.
+//
+// Semantics are pinned to the scalar expressions the rasterizer historically
+// used (`dst += w * src`, `std::max(dst, w * src)` spelled as a comparison),
+// so switching a call site to these kernels never changes results, only
+// speed. In particular the max kernels replicate std::max's NaN/signed-zero
+// behaviour: `a < b ? b : a`.
+#pragma once
+
+#include <cstddef>
+
+namespace dcsn::util::simd {
+
+/// dst[i] += src[i] — the gather-blend accumulation.
+inline void add(float* __restrict__ dst, const float* __restrict__ src,
+                std::size_t n) {
+#pragma omp simd
+  for (std::size_t i = 0; i < n; ++i) dst[i] += src[i];
+}
+
+/// dst[i] += w * src[i] — additive spot blending (the spot-noise sum).
+inline void add_scaled(float* __restrict__ dst, const float* __restrict__ src,
+                       float w, int n) {
+#pragma omp simd
+  for (int i = 0; i < n; ++i) dst[i] += w * src[i];
+}
+
+/// dst[i] = max(dst[i], w * src[i]) — maximum spot blending.
+inline void max_scaled(float* __restrict__ dst, const float* __restrict__ src,
+                       float w, int n) {
+#pragma omp simd
+  for (int i = 0; i < n; ++i) {
+    const float s = w * src[i];
+    dst[i] = dst[i] < s ? s : dst[i];
+  }
+}
+
+/// dst[i] = max(dst[i], v) — maximum blend against a constant (the span
+/// rasterizer's zero-texel flanks, where the reference blends w * 0).
+inline void max_with(float* __restrict__ dst, float v, int n) {
+#pragma omp simd
+  for (int i = 0; i < n; ++i) dst[i] = dst[i] < v ? v : dst[i];
+}
+
+}  // namespace dcsn::util::simd

@@ -174,9 +174,13 @@ TEST(GraphicsPipe, ViewportOriginShiftsRendering) {
 TEST(GraphicsPipe, OverlapsWithSubmitterWork) {
   // While the pipe rasterizes, the submitting thread stays free: total time
   // must be well below the sum of both sides (eq. 2.1's max, not sum).
+  // The cost multiplier keeps the per-quad raster work heavy enough for the
+  // overlap to be measurable on a loaded one-core host — the span-kernel
+  // rewrite made plain fullscreen quads too cheap for the wall-clock margin.
   auto pc = small_pipe();
   pc.width = 256;
   pc.height = 256;
+  pc.raster_cost_multiplier = 4.0;
   render::GraphicsPipe pipe(pc, nullptr);
   pipe.bind_profile(render::SpotProfile::make_shared(render::SpotShape::kDisc));
   pipe.clear();
