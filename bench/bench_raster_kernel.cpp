@@ -29,6 +29,7 @@
 #include "render/framebuffer.hpp"
 #include "render/rasterizer.hpp"
 #include "util/rng.hpp"
+#include "util/simd.hpp"
 #include "util/stopwatch.hpp"
 
 namespace {
@@ -125,7 +126,7 @@ render::RasterStats rasterize_once(const RibbonWorkload& r, render::Framebuffer&
                                    const render::CommandBuffer& buffer) {
   render::RasterStats stats;
   fb.clear();
-  render::rasterize_buffer({fb.pixels(), 0.0f, 0.0f, algo}, buffer, *r.profile,
+  render::rasterize_buffer({fb.pixels(), 0, 0, algo}, buffer, *r.profile,
                            mode, stats);
   return stats;
 }
@@ -197,8 +198,13 @@ int main(int argc, char** argv) {
   const bool coverage_identical =
       fb == other && ref_stats.fragments == span_stats.fragments;
 
-  const bool equivalent = coverage_identical && additive_dev <= 1e-5f &&
-                          maximum_dev <= 1e-5f;
+  // Value tolerance: the kernels' UV evaluation differs by design (~1e-5,
+  // see test_rasterizer.cpp), and each side additionally snaps to the
+  // contribution lattice, which can separate the results by up to two
+  // quanta (util/simd.hpp).
+  const float value_gate = 1e-5f + 2.0f * util::simd::kContributionQuantum;
+  const bool equivalent = coverage_identical && additive_dev <= value_gate &&
+                          maximum_dev <= value_gate;
   std::printf("  equivalence: coverage %s, max deviation additive %.2e / max %.2e\n",
               coverage_identical ? "identical" : "DIFFERS", additive_dev,
               maximum_dev);

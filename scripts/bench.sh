@@ -1,13 +1,14 @@
 #!/usr/bin/env bash
-# Machine-readable perf trajectory: runs the rasterizer ablation bench and
-# checks its JSON report in at the repo root as BENCH_raster.json, so each
-# PR's performance can be diffed against the last instead of guessed.
+# Machine-readable perf trajectory: runs the gated ablation benches and
+# checks their JSON reports in at the repo root (BENCH_raster.json,
+# BENCH_incremental.json), so each PR's performance can be diffed against
+# the last instead of guessed.
 #
-#   scripts/bench.sh             # full workload, writes BENCH_raster.json
-#   scripts/bench.sh --smoke     # small workload (CI-sized), same report
+#   scripts/bench.sh             # full workloads, refreshes BENCH_*.json
+#   scripts/bench.sh --smoke     # small workloads (CI-sized), same reports
 #   BUILD_DIR=out scripts/bench.sh
 #
-# The bench exits nonzero when its speedup/equivalence gate fails, and so
+# Each bench exits nonzero when its speedup/equivalence gate fails, and so
 # does this script — wire it into pre-merge checks alongside verify.sh.
 set -euo pipefail
 
@@ -17,9 +18,10 @@ BUILD_DIR="${BUILD_DIR:-build}"
 JOBS="${JOBS:-$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)}"
 
 cmake -B "$BUILD_DIR" -S . >/dev/null
-cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_raster_kernel
+cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_raster_kernel bench_incremental
 
 # The script's --json comes first: parse_json_path takes the first match,
-# so this script always refreshes the checked-in report regardless of
+# so this script always refreshes the checked-in reports regardless of
 # forwarded flags.
 "$BUILD_DIR/bench/bench_raster_kernel" --json BENCH_raster.json "$@"
+"$BUILD_DIR/bench/bench_incremental" --json BENCH_incremental.json "$@"

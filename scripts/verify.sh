@@ -5,11 +5,21 @@
 #   scripts/verify.sh --tsan         # also run the concurrency suites under
 #                                    # ThreadSanitizer (build-tsan, opt-in:
 #                                    # the instrumented build is ~10x slower)
-#   scripts/verify.sh --bench-smoke  # also run the rasterizer ablation gate
-#                                    # on its small workload (exits nonzero
-#                                    # if the span kernel loses its >=1.5x
-#                                    # margin or its equivalence to the
-#                                    # reference walk)
+#   scripts/verify.sh --bench-smoke  # also run the rasterizer + incremental
+#                                    # ablation gates on their small
+#                                    # workloads (exits nonzero if the span
+#                                    # kernel loses its >=1.5x margin /
+#                                    # equivalence, or incremental reuse
+#                                    # loses its modeled speedup /
+#                                    # bit-identity)
+#   scripts/verify.sh --golden       # golden-frame mode: verifies the
+#                                    # checked-in goldens exist (exits
+#                                    # nonzero if missing, never skips) and
+#                                    # runs only the `golden`-labelled ctest
+#                                    # entries. The goldens also run as part
+#                                    # of the default ctest pass; this mode
+#                                    # is the quick pre-commit check after a
+#                                    # rendering change.
 #   BUILD_DIR=out scripts/verify.sh
 #   JOBS=8 scripts/verify.sh
 #
@@ -24,25 +34,53 @@ JOBS="${JOBS:-$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)}"
 
 RUN_TSAN=0
 RUN_BENCH_SMOKE=0
+RUN_GOLDEN_ONLY=0
 for arg in "$@"; do
   case "$arg" in
     --tsan) RUN_TSAN=1 ;;
     --bench-smoke) RUN_BENCH_SMOKE=1 ;;
-    *) echo "unknown argument: $arg (supported: --tsan, --bench-smoke)" >&2; exit 2 ;;
+    --golden) RUN_GOLDEN_ONLY=1 ;;
+    *) echo "unknown argument: $arg (supported: --tsan, --bench-smoke, --golden)" >&2; exit 2 ;;
   esac
 done
 
+# Goldens must exist before the golden suite runs — fail loudly, never
+# skip. Checked *after* the build so the regeneration command it recommends
+# is actually runnable from a fresh checkout.
+check_goldens() {
+  local count
+  count=$(find tests/golden -name '*.golden' 2>/dev/null | wc -l)
+  if [[ "$count" -lt 1 ]]; then
+    echo "ERROR: no golden frames found under tests/golden/." >&2
+    echo "Generate them with: $BUILD_DIR/tests/test_golden_frames --update-goldens" >&2
+    exit 1
+  fi
+}
+
 cmake -B "$BUILD_DIR" -S .
+
+if [[ "$RUN_GOLDEN_ONLY" -eq 1 ]]; then
+  echo "== golden-frame verification (ctest -L golden) =="
+  cmake --build "$BUILD_DIR" -j "$JOBS" --target test_golden_frames
+  check_goldens
+  (cd "$BUILD_DIR" && ctest --output-on-failure -L golden -j "$JOBS")
+  exit 0
+fi
+
 cmake --build "$BUILD_DIR" -j "$JOBS"
+check_goldens
 (cd "$BUILD_DIR" && ctest --output-on-failure -j "$JOBS")
 
 if [[ "$RUN_BENCH_SMOKE" -eq 1 ]]; then
-  # Small-workload run of the span-vs-reference rasterizer ablation: fails
-  # the build when kSpan drops below 1.5x kReference fragment throughput or
-  # the coverage/value equivalence breaks (full gate: scripts/bench.sh).
+  # Small-workload runs of the gated ablations: the span-vs-reference
+  # rasterizer gate (>=1.5x + coverage/value equivalence) and the
+  # incremental-resynthesis gate (modeled speedup + bit-identity to full
+  # resynthesis). Full gates: scripts/bench.sh.
   echo "== rasterizer bench smoke (bench_raster_kernel --smoke) =="
-  cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_raster_kernel
+  cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_raster_kernel bench_incremental
   "$BUILD_DIR/bench/bench_raster_kernel" --smoke
+  echo "== incremental bench smoke (bench_incremental --smoke) =="
+  "$BUILD_DIR/bench/bench_incremental" --smoke
 fi
 
 if [[ "$RUN_TSAN" -eq 1 ]]; then

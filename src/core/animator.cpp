@@ -15,6 +15,8 @@ Animator::Animator(AnimatorConfig config, DncSynthesizer& synthesizer,
              "advection step must be positive");
   DCSN_CHECK(config_.high_pass_radius >= 0, "filter radius must be non-negative");
   DCSN_CHECK(static_cast<bool>(read_data_), "read_data callback required");
+  DCSN_CHECK(!config_.incremental || synthesizer_.dnc_config().tiled,
+             "incremental animation requires a tiled engine (per-tile retention)");
 }
 
 AnimationFrame Animator::step() {
@@ -41,9 +43,17 @@ AnimationFrame Animator::step() {
   particles_.advance(f, dt);
   out.advect_seconds = watch.seconds();
 
-  // Step 3: generate the texture.
-  const std::vector<SpotInstance> spots = spots_from_particles(particles_);
-  out.synthesis = synthesizer_.synthesize(f, spots);
+  // Step 3: generate the texture — incrementally when the temporal cache
+  // can prove which tiles changed, fully otherwise.
+  std::vector<SpotInstance> spots = spots_from_particles(particles_);
+  if (config_.incremental) {
+    const SynthesisCache::Decision d = cache_.plan(synthesizer_, f, spots);
+    out.synthesis =
+        synthesizer_.synthesize(f, spots, d.incremental ? &d.plan : nullptr);
+    cache_.commit(synthesizer_, f, std::move(spots));
+  } else {
+    out.synthesis = synthesizer_.synthesize(f, spots);
+  }
 
   // Optional spot filtering.
   watch.restart();

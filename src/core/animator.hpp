@@ -16,6 +16,7 @@
 
 #include "core/dnc_synthesizer.hpp"
 #include "core/filters.hpp"
+#include "core/synthesis_cache.hpp"
 #include "particles/particle_system.hpp"
 
 namespace dcsn::core {
@@ -28,6 +29,16 @@ struct AnimatorConfig {
   /// Optional high-pass filter radius in pixels; 0 disables filtering.
   int high_pass_radius = 0;
   bool normalize = true;  ///< stabilize contrast across frames
+  /// Temporal coherence: re-render only the tiles whose spot set changed
+  /// (engine must be tiled; see core::SynthesisCache for the invalidation
+  /// rules). Output is bit-identical to full resynthesis — the cache is a
+  /// pure frame-rate lever. Contract: whenever read_data changes field
+  /// *contents* in place — steering updates, or a time-varying dataset
+  /// reloaded into the same object — call invalidate_cache() for that
+  /// frame. The cache's automatic probes catch swapped field objects and
+  /// changed domain/extremes/probe samples, but they are point samples and
+  /// cannot see every localized in-place write.
+  bool incremental = false;
 };
 
 struct AnimationFrame {
@@ -52,6 +63,13 @@ class Animator {
   /// Runs one full pipeline iteration and returns its timing breakdown.
   AnimationFrame step();
 
+  /// Drops the temporal cache; the next frame re-renders every tile. Call
+  /// whenever the field's contents changed in place — steering updates or
+  /// a dataset timestep reloaded into the same object — because the
+  /// cache's automatic probes are samples and cannot see every localized
+  /// in-place write.
+  void invalidate_cache() { cache_.invalidate(); }
+
   [[nodiscard]] std::int64_t frame_number() const { return frame_; }
 
  private:
@@ -61,6 +79,7 @@ class Animator {
   ReadData read_data_;
   std::int64_t frame_ = 0;
   std::optional<render::Framebuffer> filtered_;
+  SynthesisCache cache_;  ///< used when config_.incremental
 };
 
 }  // namespace dcsn::core

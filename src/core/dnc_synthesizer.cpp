@@ -59,8 +59,7 @@ DncSynthesizer::DncSynthesizer(SynthesisConfig synthesis, DncConfig dnc)
     group.pipe->set_blend_mode(render::BlendMode::kAdditive);
     if (dnc_.tiled) {
       const Tile& tile = tiles_[static_cast<std::size_t>(g)];
-      group.pipe->set_viewport_origin(static_cast<float>(tile.x0),
-                                      static_cast<float>(tile.y0));
+      group.pipe->set_viewport_origin(tile.x0, tile.y0);
     }
     // Drain setup commands now so their state-change cost never bleeds into
     // the first frame's measurements.
@@ -144,18 +143,23 @@ void DncSynthesizer::prepare_tiles(std::span<const SpotInstance> spots) {
       group.pipe->resize_target(new_tile.width, new_tile.height);
     }
     if (new_tile.x0 != old_tile.x0 || new_tile.y0 != old_tile.y0) {
-      group.pipe->set_viewport_origin(static_cast<float>(new_tile.x0),
-                                      static_cast<float>(new_tile.y0));
+      group.pipe->set_viewport_origin(new_tile.x0, new_tile.y0);
     }
   }
   tiles_ = std::move(tiles);
 }
 
 FrameStats DncSynthesizer::synthesize(const field::VectorField& f,
-                                      std::span<const SpotInstance> spots) {
+                                      std::span<const SpotInstance> spots,
+                                      const FramePlan* plan) {
   const util::Stopwatch frame_watch;
+  ++frame_serial_;
   FrameStats stats;
   stats.spots = static_cast<std::int64_t>(spots.size());
+  DCSN_CHECK(plan == nullptr || dnc_.tiled,
+             "an incremental plan requires tiled mode (per-tile retention)");
+  DCSN_CHECK(plan == nullptr || plan->tile_dirty.size() == tiles_.size(),
+             "incremental plan must flag exactly one entry per tile");
 
   job_field_ = &f;
   job_spots_ = spots;
@@ -165,17 +169,31 @@ FrameStats DncSynthesizer::synthesize(const field::VectorField& f,
   const util::Stopwatch assign_watch;
   std::vector<std::int64_t> assigned(static_cast<std::size_t>(dnc_.pipes), 0);
   if (dnc_.tiled) {
-    prepare_tiles(spots);
+    // A planned frame keeps the tile grid frozen: the dirty flags were
+    // derived against it, and reshaping would invalidate the retained
+    // regions. kCostBalanced therefore re-balances only on full frames.
+    if (plan == nullptr) prepare_tiles(spots);
     job_assignment_ = assign_spots_to_tiles(spots, job_generator_->mapping(),
                                             job_generator_->max_extent_px(), tiles_);
     for (int g = 0; g < dnc_.pipes; ++g) {
       Group& group = *groups_[static_cast<std::size_t>(g)];
       group.tile_indices = &job_assignment_.per_tile[static_cast<std::size_t>(g)];
       const auto n = static_cast<std::int64_t>(group.tile_indices->size());
-      group.total_items = n;
-      group.work->reset(n);
-      assigned[static_cast<std::size_t>(g)] = n;
-      stats.spots_submitted += n;
+      group.active =
+          plan == nullptr || plan->tile_dirty[static_cast<std::size_t>(g)] != 0;
+      if (group.active) {
+        group.total_items = n;
+        group.work->reset(n);
+        assigned[static_cast<std::size_t>(g)] = n;
+        stats.spots_submitted += n;
+      } else {
+        // Clean tile: identical spot set as last frame, nothing to do. The
+        // group's members still participate as thieves for dirty groups.
+        group.total_items = 0;
+        group.work->reset(0);
+        stats.tiles_reused += 1;
+        stats.spots_skipped += n;
+      }
     }
     stats.duplicated_spots = job_assignment_.duplicates;
   } else {
@@ -190,6 +208,7 @@ FrameStats DncSynthesizer::synthesize(const field::VectorField& f,
       begin += share;
       group.total_items = share;
       group.work->reset(share);
+      group.active = true;
       assigned[static_cast<std::size_t>(g)] = share;
     }
     stats.spots_submitted = n;
@@ -233,8 +252,14 @@ FrameStats DncSynthesizer::synthesize(const field::VectorField& f,
   // --- sequential gather: the overhead term c of eq. 3.2 ---
   const util::Stopwatch gather_watch;
   if (dnc_.tiled) {
+    // The retention compose, streamed: only active pipes cross the bus and
+    // are copied into place, one at a time (no staging of all partials);
+    // clean tiles of an incremental frame keep their retained region of
+    // final_ untouched. render::compose_tiles_masked implements the same
+    // merge for callers that already hold materialized tiles.
     for (int g = 0; g < dnc_.pipes; ++g) {
       Group& group = *groups_[static_cast<std::size_t>(g)];
+      if (!group.active) continue;
       const Tile& tile = tiles_[static_cast<std::size_t>(g)];
       const render::Framebuffer part = group.pipe->read_back();
       final_.copy_rect_from(part, tile.x0, tile.y0);
@@ -249,6 +274,13 @@ FrameStats DncSynthesizer::synthesize(const field::VectorField& f,
     }
   }
   stats.gather_seconds = gather_watch.seconds();
+
+  // Lattice-budget canary (see FrameStats::peak_pixel_magnitude): one pass
+  // over the final texture, outside the modeled critical path.
+  const auto [px_lo, px_hi] = final_.min_max();
+  stats.peak_pixel_magnitude =
+      std::max(std::abs(static_cast<double>(px_lo)),
+               std::abs(static_cast<double>(px_hi)));
 
   // --- bookkeeping ---
   for (const double s : worker_genP_) {
@@ -388,7 +420,10 @@ bool DncSynthesizer::master_steal_once(Group& group, int group_id, int worker_id
 }
 
 void DncSynthesizer::run_master(Group& group, int group_id, int worker_id) {
-  group.pipe->clear();
+  // A clean-tile group renders nothing this frame; clearing would destroy
+  // nothing (the retained pixels live in final_, not in the pipe target)
+  // but would cost raster time and skew genT accounting.
+  if (group.active) group.pipe->clear();
   int done_slaves = 0;
   std::int64_t items_done = 0;
 

@@ -43,6 +43,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/frame_delta.hpp"
 #include "core/spot_geometry.hpp"
 #include "core/spot_params.hpp"
 #include "core/tiling.hpp"
@@ -108,6 +109,23 @@ struct FrameStats {
   double pipe_state_seconds = 0.0;   ///< pipes executing state changes
   render::RasterStats raster;
 
+  // Temporal-coherence accounting (incremental frames only; see
+  // core::SynthesisCache). A reused tile skipped its clear, generation,
+  // rasterization and readback entirely; its region of the final texture
+  // retains the previous frame's bit-exact pixels.
+  std::int64_t tiles_reused = 0;   ///< clean tiles served from retention
+  std::int64_t spots_skipped = 0;  ///< assignments not generated/rendered
+
+  /// Largest |pixel| of the frame — the canary for the contribution
+  /// lattice's exact-summation budget (util::simd::kContributionExactBound,
+  /// 128): bit-determinism and incremental retention rest on per-pixel
+  /// partial sums staying inside that range, and this is the cheap
+  /// necessary-condition monitor. Workloads that push it toward the bound
+  /// (it sits around 1 for natural-intensity populations) are leaving the
+  /// design envelope; the determinism suite and bench_incremental assert
+  /// generous headroom.
+  double peak_pixel_magnitude = 0.0;
+
   // Load-balance accounting.
   std::int64_t stolen_chunks = 0;  ///< chunk ranges taken across groups
   std::int64_t stolen_spots = 0;   ///< spots inside those ranges
@@ -150,14 +168,27 @@ class DncSynthesizer {
   /// If a worker thread throws (e.g. a DCSN_CHECK inside spot generation),
   /// the frame is abandoned and the first exception is rethrown here; the
   /// engine stays usable for subsequent frames.
+  ///
+  /// `plan` (tiled mode only, normally produced by core::SynthesisCache)
+  /// enables temporal reuse: tiles whose flag is clear are not cleared,
+  /// generated, rasterized or read back — their region of the final
+  /// texture retains the previous frame's pixels, which is bit-identical
+  /// to re-rendering them because their spot set did not change. On a
+  /// planned frame the tile grid is kept frozen (no kCostBalanced reshape):
+  /// the plan was derived against the current grid.
   FrameStats synthesize(const field::VectorField& f,
-                        std::span<const SpotInstance> spots);
+                        std::span<const SpotInstance> spots,
+                        const FramePlan* plan = nullptr);
 
   [[nodiscard]] const render::Framebuffer& texture() const { return final_; }
   [[nodiscard]] const SynthesisConfig& config() const { return synthesis_; }
   [[nodiscard]] const DncConfig& dnc_config() const { return dnc_; }
   [[nodiscard]] const std::vector<Tile>& tiles() const { return tiles_; }
   [[nodiscard]] render::PipeStats pipe_stats(int pipe) const;
+
+  /// Bumped at the start of every synthesize() call (failed frames
+  /// included). SynthesisCache uses it to detect frames it did not commit.
+  [[nodiscard]] std::int64_t frame_serial() const { return frame_serial_; }
 
  private:
   struct Message {
@@ -175,6 +206,10 @@ class DncSynthesizer {
     std::int64_t end = 0;
     std::int64_t total_items = 0;  ///< spots assigned to this group this frame
     int slave_count = 0;
+    /// Cleared for a clean tile of an incremental frame: the group renders
+    /// nothing (its members still steal for dirty groups) and the gather
+    /// retains its texture region.
+    bool active = true;
   };
 
   void worker_loop(int worker_id, int group_id, bool is_master);
@@ -209,6 +244,7 @@ class DncSynthesizer {
   std::vector<Tile> tiles_;            ///< one per group in tiled mode
   std::vector<std::unique_ptr<Group>> groups_;  // Group is immovable (owns a queue)
   render::Framebuffer final_;
+  std::int64_t frame_serial_ = 0;
 
   // Per-frame job state, written by synthesize() before the start barrier.
   const field::VectorField* job_field_ = nullptr;

@@ -37,6 +37,20 @@ double PerfModel::predict(std::int64_t spots, int processors, int pipes) const {
   return std::max(cpu, gfx) + c;
 }
 
+double PerfModel::predict_incremental(std::int64_t spots_rendered, int processors,
+                                      int pipes, int tiles_reused) const {
+  DCSN_CHECK(processors >= 1 && pipes >= 1, "configuration must be positive");
+  DCSN_CHECK(tiles_reused >= 0 && tiles_reused <= pipes,
+             "cannot reuse more tiles than there are pipes");
+  const int dirty = pipes - tiles_reused;
+  if (dirty == 0 || spots_rendered <= 0) return params_.fixed_overhead;
+  const auto n = static_cast<double>(spots_rendered);
+  const double cpu = n * params_.genP_per_spot / processors;
+  const double gfx = n * params_.genT_per_spot / dirty;
+  const double c = params_.gather_per_pipe * dirty + params_.fixed_overhead;
+  return std::max(cpu, gfx) + c;
+}
+
 double PerfModel::processors_per_pipe_balance() const {
   if (params_.genT_per_spot <= 0.0) return 1.0;
   return params_.genP_per_spot / params_.genT_per_spot;

@@ -40,6 +40,17 @@ class PerfModel {
   /// eq. 3.2.
   [[nodiscard]] double predict(std::int64_t spots, int processors, int pipes) const;
 
+  /// eq. 3.2 under temporal reuse (the incremental path): only
+  /// `spots_rendered` of the population regenerate — spread over all
+  /// processors, since clean-tile workers steal for dirty groups — and
+  /// rasterize on the `pipes - tiles_reused` dirty pipes, whose readbacks
+  /// are the only surviving share of the gather term. FrameStats supplies
+  /// the inputs: spots_submitted for `spots_rendered`, tiles_reused
+  /// verbatim.
+  [[nodiscard]] double predict_incremental(std::int64_t spots_rendered,
+                                           int processors, int pipes,
+                                           int tiles_reused) const;
+
   /// Textures/second, the unit of the paper's tables.
   [[nodiscard]] double predict_rate(std::int64_t spots, int processors,
                                     int pipes) const {

@@ -15,6 +15,8 @@ PipelinedAnimator::PipelinedAnimator(AnimatorConfig config,
       read_data_(std::move(read_data)) {
   DCSN_CHECK(config_.advect_radius_fraction > 0.0, "advection step must be positive");
   DCSN_CHECK(static_cast<bool>(read_data_), "read_data callback required");
+  DCSN_CHECK(!config_.incremental || synthesizer_.dnc_config().tiled,
+             "incremental animation requires a tiled engine (per-tile retention)");
   current_ = prepare(0);  // prologue: the first frame cannot overlap
 }
 
@@ -46,8 +48,18 @@ AnimationFrame PipelinedAnimator::step() {
                      [this, next_frame = frame_ + 1] { return prepare(next_frame); });
 
   // ...while frame n synthesizes on the engine. The engine never sees the
-  // particle system, only the immutable snapshot taken by prepare().
-  out.synthesis = synthesizer_.synthesize(*current_.field, current_.spots);
+  // particle system, only the immutable snapshot taken by prepare(). The
+  // temporal cache runs on this thread too: planning reads only the
+  // snapshot and the engine, never the particle system the helper mutates.
+  if (config_.incremental) {
+    const SynthesisCache::Decision d =
+        cache_.plan(synthesizer_, *current_.field, current_.spots);
+    out.synthesis = synthesizer_.synthesize(*current_.field, current_.spots,
+                                            d.incremental ? &d.plan : nullptr);
+    cache_.commit(synthesizer_, *current_.field, std::move(current_.spots));
+  } else {
+    out.synthesis = synthesizer_.synthesize(*current_.field, current_.spots);
+  }
   out.read_seconds = current_.prepare_seconds;  // combined read+advect cost
   out.advect_seconds = 0.0;                     // hidden inside read_seconds
 

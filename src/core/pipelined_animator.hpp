@@ -27,6 +27,12 @@ class PipelinedAnimator {
   /// the previous step while preparing the next spot snapshot concurrently.
   AnimationFrame step();
 
+  /// Drops the temporal cache (see Animator::invalidate_cache). The
+  /// pipeline holds one prepared frame in flight, so the invalidation takes
+  /// effect on the next synthesize — which is exactly the first frame that
+  /// could observe the mutated field.
+  void invalidate_cache() { cache_.invalidate(); }
+
   [[nodiscard]] std::int64_t frame_number() const { return frame_; }
 
  private:
@@ -46,6 +52,7 @@ class PipelinedAnimator {
   Prepared current_;
   std::future<Prepared> next_;
   std::optional<render::Framebuffer> filtered_;
+  SynthesisCache cache_;  ///< used when config_.incremental
 };
 
 }  // namespace dcsn::core

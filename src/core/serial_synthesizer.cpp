@@ -40,7 +40,7 @@ SerialStats SerialSynthesizer::synthesize(const field::VectorField& f,
   constexpr std::int64_t kChunk = 64;
 
   if (threads == 1) {
-    const render::RasterTarget target{texture_.pixels(), 0.0f, 0.0f};
+    const render::RasterTarget target{texture_.pixels(), 0, 0};
     render::CommandBuffer buffer;
     buffer.reserve(kChunk, static_cast<std::size_t>(config_.vertices_per_spot()));
     util::TimeAccumulator genP, genT;
@@ -75,7 +75,7 @@ SerialStats SerialSynthesizer::synthesize(const field::VectorField& f,
 #pragma omp parallel num_threads(threads)
     {
       const auto tid = static_cast<std::size_t>(omp_get_thread_num());
-      const render::RasterTarget target{partials[tid].pixels(), 0.0f, 0.0f};
+      const render::RasterTarget target{partials[tid].pixels(), 0, 0};
       render::CommandBuffer buffer;
       buffer.reserve(kChunk, static_cast<std::size_t>(config_.vertices_per_spot()));
 #pragma omp for schedule(dynamic, 1)

@@ -1,0 +1,90 @@
+#include "core/synthesis_cache.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/spot_geometry.hpp"
+
+namespace dcsn::core {
+
+std::array<field::Vec2, SynthesisCache::kFieldProbes> SynthesisCache::probe_field(
+    const field::VectorField& f) {
+  // Fixed fractional positions, deliberately irregular so axis-aligned
+  // structure in the data cannot make distinct fields alias on every probe.
+  static constexpr double kAt[kFieldProbes][2] = {
+      {0.13, 0.29}, {0.71, 0.17}, {0.41, 0.83}, {0.89, 0.61},
+      {0.07, 0.93}, {0.53, 0.47}, {0.31, 0.11}, {0.97, 0.37}};
+  const field::Rect d = f.domain();
+  std::array<field::Vec2, kFieldProbes> out;
+  for (std::size_t i = 0; i < kFieldProbes; ++i) {
+    out[i] = f.sample({d.x0 + kAt[i][0] * d.width(), d.y0 + kAt[i][1] * d.height()});
+  }
+  return out;
+}
+
+SynthesisCache::Decision SynthesisCache::plan(const DncSynthesizer& engine,
+                                              const field::VectorField& f,
+                                              std::span<const SpotInstance> spots) {
+  Decision d;
+  if (!engine.dnc_config().tiled) return d;  // nothing to retain per tile
+  if (!valid_) {
+    planned_streak_ = 0;
+    return d;
+  }
+  // Field probes: a swapped field object, or one whose domain, extremes or
+  // probed vector values moved, changes spot geometry everywhere. An exact
+  // Vec2 comparison on purpose — and a NaN probe never equals itself, so a
+  // poisoned field conservatively renders full frames.
+  if (&f != field_ || !(f.domain() == domain_) ||
+      f.max_magnitude() != max_magnitude_ || probe_field(f) != probes_) {
+    valid_ = false;
+    planned_streak_ = 0;
+    return d;
+  }
+  // Serial guard: the engine rendered a frame this cache did not commit
+  // (another driver, or an abandoned frame) — the retained texture regions
+  // are not last-committed-frame pixels any more.
+  if (engine.frame_serial() != engine_serial_) {
+    valid_ = false;
+    planned_streak_ = 0;
+    return d;
+  }
+  // Grid guard: reuse is expressed per tile of the snapshot's grid.
+  if (!std::ranges::equal(engine.tiles(), tiles_)) {
+    valid_ = false;
+    planned_streak_ = 0;
+    return d;
+  }
+  // Rebalance budget: planned frames freeze a kCostBalanced grid, so force
+  // one full frame per interval to let the kd-cut follow the population.
+  if (engine.dnc_config().tile_strategy == TileStrategy::kCostBalanced &&
+      rebalance_interval > 0 && planned_streak_ >= rebalance_interval) {
+    planned_streak_ = 0;
+    return d;  // full frame; commit() re-snapshots the (possibly new) grid
+  }
+
+  // The same mapping + conservative extent the engine's preprocessing uses,
+  // so "clean" below means "identical per-tile assignment list".
+  const SpotGeometryGenerator generator(engine.config(), f);
+  d.delta = diff_spots(spots_, spots);
+  d.plan.tile_dirty = dirty_tiles(d.delta, spots_, spots, generator.mapping(),
+                                  generator.max_extent_px(), tiles_);
+  d.incremental = true;
+  ++planned_streak_;
+  return d;
+}
+
+void SynthesisCache::commit(const DncSynthesizer& engine,
+                            const field::VectorField& f,
+                            std::vector<SpotInstance> spots) {
+  spots_ = std::move(spots);
+  tiles_.assign(engine.tiles().begin(), engine.tiles().end());
+  field_ = &f;
+  domain_ = f.domain();
+  max_magnitude_ = f.max_magnitude();
+  probes_ = probe_field(f);
+  engine_serial_ = engine.frame_serial();
+  valid_ = engine.dnc_config().tiled;
+}
+
+}  // namespace dcsn::core

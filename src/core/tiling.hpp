@@ -22,6 +22,8 @@ struct Tile {
   int y0 = 0;
   int width = 0;
   int height = 0;
+
+  bool operator==(const Tile&) const = default;
 };
 
 /// Splits a width x height texture into `count` tiles arranged in a

@@ -31,6 +31,27 @@ void write_pgm(const std::string& path, const render::Framebuffer& texture) {
   DCSN_CHECK(out.good(), "short write to PGM output: " + path);
 }
 
+render::Image read_pgm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  DCSN_CHECK(in.good(), "cannot open PGM input: " + path);
+  std::string magic;
+  int w = 0, h = 0, maxval = 0;
+  in >> magic >> w >> h >> maxval;
+  DCSN_CHECK(magic == "P5", "not a P5 PGM: " + path);
+  DCSN_CHECK(w > 0 && h > 0 && maxval == 255, "unsupported PGM header: " + path);
+  in.get();  // the single whitespace after the header
+  render::Image img(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const int byte = in.get();
+      DCSN_CHECK(byte >= 0, "truncated PGM input: " + path);
+      const auto g = static_cast<std::uint8_t>(byte);
+      img.at(x, y) = {g, g, g};
+    }
+  }
+  return img;
+}
+
 render::Image read_ppm(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   DCSN_CHECK(in.good(), "cannot open PPM input: " + path);

@@ -18,4 +18,8 @@ void write_pgm(const std::string& path, const render::Framebuffer& texture);
 /// Reads back a P6 file (for round-trip tests).
 [[nodiscard]] render::Image read_ppm(const std::string& path);
 
+/// Reads back a P5 file as a grayscale image (r = g = b), the inverse of
+/// write_pgm's byte stream — for round-trip tests of the float→byte cast.
+[[nodiscard]] render::Image read_pgm(const std::string& path);
+
 }  // namespace dcsn::io

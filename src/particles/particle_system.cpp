@@ -30,7 +30,8 @@ void ParticleSystem::advance(const field::VectorField& f, double dt) {
   const auto n = static_cast<std::int64_t>(particles_.size());
   const std::uint64_t gen_salt =
       stream_seed_ ^ (static_cast<std::uint64_t>(generation_) * 0x9e3779b97f4a7c15ULL);
-#pragma omp parallel for schedule(static)
+  std::int64_t respawned = 0;
+#pragma omp parallel for schedule(static) reduction(+ : respawned)
   for (std::int64_t idx = 0; idx < n; ++idx) {
     Particle& p = particles_[static_cast<std::size_t>(idx)];
     p.position = step(f, p.position, dt, config_.method);
@@ -42,8 +43,10 @@ void ParticleSystem::advance(const field::VectorField& f, double dt) {
       // Per-particle deterministic stream: independent of thread count.
       util::Rng local(gen_salt ^ static_cast<std::uint64_t>(idx));
       respawn(p, local);
+      ++respawned;
     }
   }
+  last_respawns_ = respawned;
 }
 
 double ParticleSystem::fade_weight(const Particle& p, double fade_fraction) {

@@ -42,7 +42,18 @@ class ParticleSystem {
   /// that died or left the domain. Parallelized with OpenMP; respawn draws
   /// come from per-particle hash streams so results are independent of the
   /// thread count.
+  ///
+  /// Temporal-coherence guarantee: a particle whose local velocity is zero
+  /// keeps its position bit for bit (the integrators add an exact 0.0), and
+  /// one inside the plateau of its life cycle keeps fade_weight() == 1.0
+  /// exactly — so spots in stagnant flow are frame-to-frame identical and
+  /// core::FrameDelta classifies them as unchanged.
   void advance(const field::VectorField& f, double dt);
+
+  /// Particles respawned (death or domain exit) by the last advance() —
+  /// the population churn that forces tile re-renders on the incremental
+  /// path; the temporal benches report it alongside reuse rates.
+  [[nodiscard]] std::int64_t last_respawn_count() const { return last_respawns_; }
 
   /// Life-cycle envelope in [0,1]: smooth fade-in / fade-out ramps.
   [[nodiscard]] static double fade_weight(const Particle& p, double fade_fraction);
@@ -65,6 +76,7 @@ class ParticleSystem {
   std::vector<Particle> particles_;
   std::uint64_t stream_seed_;  ///< base seed for per-particle respawn streams
   std::int64_t generation_ = 0;
+  std::int64_t last_respawns_ = 0;
 };
 
 }  // namespace dcsn::particles

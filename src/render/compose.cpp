@@ -28,4 +28,19 @@ std::int64_t compose_tiles(Framebuffer& final_texture,
   return pixels;
 }
 
+std::int64_t compose_tiles_masked(Framebuffer& final_texture,
+                                  std::span<const Framebuffer> tiles,
+                                  std::span<const TilePlacement> placements,
+                                  std::span<const std::uint8_t> dirty) {
+  DCSN_CHECK(tiles.size() == placements.size() && tiles.size() == dirty.size(),
+             "one placement and one dirty flag per tile required");
+  std::int64_t pixels = 0;
+  for (std::size_t k = 0; k < tiles.size(); ++k) {
+    if (dirty[k] == 0) continue;  // retained: previous frame's exact pixels
+    final_texture.copy_rect_from(tiles[k], placements[k].x0, placements[k].y0);
+    pixels += static_cast<std::int64_t>(tiles[k].pixel_count());
+  }
+  return pixels;
+}
+
 }  // namespace dcsn::render

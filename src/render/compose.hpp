@@ -7,6 +7,13 @@
 //   * compose_tiles — every pipe rendered a disjoint region; the partials
 //     are copied into place, cheaper than blending but bought with duplicated
 //     work for spots that straddle region boundaries (paper §3, §4).
+//
+// Temporal coherence adds a third: compose_tiles_masked merges *freshly
+// rendered* tiles over a final texture that *retains* the previous frame's
+// pixels everywhere else. Retention is sound because a clean tile's spot
+// set is unchanged and rendering is bit-deterministic (see
+// render/rasterizer.hpp), so the retained region already holds exactly what
+// a re-render would produce.
 #pragma once
 
 #include <cstdint>
@@ -31,5 +38,15 @@ std::int64_t gather_blend(Framebuffer& final_texture, std::span<const Framebuffe
 /// the tiling, be disjoint.
 std::int64_t compose_tiles(Framebuffer& final_texture, std::span<const Framebuffer> tiles,
                            std::span<const TilePlacement> placements);
+
+/// The temporal-coherence compose: copies only the tiles whose `dirty` flag
+/// is set, leaving every other region of `final_texture` untouched (the
+/// cached pixels of the previous frame). Entries of `tiles` whose flag is
+/// clear are never read and may be empty — the engine skips their readback
+/// entirely. Returns the number of pixels copied.
+std::int64_t compose_tiles_masked(Framebuffer& final_texture,
+                                  std::span<const Framebuffer> tiles,
+                                  std::span<const TilePlacement> placements,
+                                  std::span<const std::uint8_t> dirty);
 
 }  // namespace dcsn::render

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/error.hpp"
+#include "util/hash.hpp"
 #include "util/simd.hpp"
 
 namespace dcsn::render {
@@ -48,6 +49,17 @@ float Framebuffer::max_abs_diff(const Framebuffer& other) const {
     worst = std::max(worst, std::abs(data_[i] - other.data_[i]));
   }
   return worst;
+}
+
+std::uint64_t Framebuffer::content_hash() const {
+  // Dimensions fold in first so reshaped buffers with equal bytes cannot
+  // collide; pixels hash as raw bits, which is exactly as strict as
+  // operator== except that it distinguishes -0.0f from +0.0f (the engine
+  // never produces -0.0f — contributions are lattice-snapped, see
+  // util/simd.hpp).
+  std::uint64_t h = util::fnv1a(&width_, sizeof width_);
+  h = util::fnv1a(&height_, sizeof height_, h);
+  return util::fnv1a(data_.data(), data_.size() * sizeof(float), h);
 }
 
 std::pair<float, float> Framebuffer::min_max() const {

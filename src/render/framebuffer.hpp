@@ -7,6 +7,7 @@
 // change the result, which is what makes the divide and conquer correct.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "util/span2d.hpp"
@@ -42,6 +43,11 @@ class Framebuffer {
 
   /// Copies `src` into this buffer at offset (x0, y0) (tile composition).
   void copy_rect_from(const Framebuffer& src, int x0, int y0);
+
+  /// FNV-1a fingerprint of dimensions + raw pixel bits. The engine renders
+  /// bit-deterministically, so this is the stable frame identity the golden
+  /// suite checks in (tests/golden/).
+  [[nodiscard]] std::uint64_t content_hash() const;
 
   [[nodiscard]] std::pair<float, float> min_max() const;
 

@@ -36,21 +36,58 @@ double texture_stddev(const Framebuffer& texture) {
   return n > 0 ? std::sqrt(sum_sq / n) : 0.0;
 }
 
-Image texture_to_image(const Framebuffer& texture, const ToneMap& tone) {
-  double gain = tone.gain;
-  if (tone.auto_gain) {
-    const double sigma = texture_stddev(texture);
-    gain = sigma > 0.0 ? 0.5 / (tone.sigma_range * sigma) : 1.0;
-  }
-  const double mean = tone.auto_gain ? texture.mean() : 0.0;
+namespace {
+// Non-finite pixels (a NaN that leaked from hostile input data, or an
+// overflowed accumulation) flush to 0.0 — the zero-mean texture's neutral
+// value, i.e. mid-gray after tone mapping. The PGM round-trip tests pin
+// this down.
+inline double finite_or_zero(float v) {
+  return std::isfinite(v) ? static_cast<double>(v) : 0.0;
+}
+}  // namespace
 
-  Image img(texture.width(), texture.height());
+ToneStats sanitized_tone_stats(const Framebuffer& texture) {
   const auto pixels = texture.pixels();
+  const auto n = static_cast<double>(texture.pixel_count());
+  ToneStats stats;
+  if (n <= 0) return stats;
+  double sum = 0.0;
+  for (int y = 0; y < texture.height(); ++y)
+    for (int x = 0; x < texture.width(); ++x) sum += finite_or_zero(pixels(x, y));
+  stats.mean = sum / n;
+  double sum_sq = 0.0;
   for (int y = 0; y < texture.height(); ++y) {
     for (int x = 0; x < texture.width(); ++x) {
-      const double gray = 0.5 + gain * (pixels(x, y) - mean);
-      const auto byte = static_cast<std::uint8_t>(
-          std::lround(std::clamp(gray, 0.0, 1.0) * 255.0));
+      const double d = finite_or_zero(pixels(x, y)) - stats.mean;
+      sum_sq += d * d;
+    }
+  }
+  stats.sigma = std::sqrt(sum_sq / n);
+  return stats;
+}
+
+std::uint8_t tone_map_byte(float value, double gain, double mean) {
+  const double gray = 0.5 + gain * (finite_or_zero(value) - mean);
+  // Out-of-gamut grays (huge but finite pixel values) clamp to the 8-bit
+  // range; the clamp happens before the lround so the cast is always
+  // defined.
+  return static_cast<std::uint8_t>(std::lround(std::clamp(gray, 0.0, 1.0) * 255.0));
+}
+
+Image texture_to_image(const Framebuffer& texture, const ToneMap& tone) {
+  const auto pixels = texture.pixels();
+  double gain = tone.gain;
+  double mean = 0.0;
+  if (tone.auto_gain) {
+    const ToneStats stats = sanitized_tone_stats(texture);
+    mean = stats.mean;
+    gain = stats.sigma > 0.0 ? 0.5 / (tone.sigma_range * stats.sigma) : 1.0;
+  }
+
+  Image img(texture.width(), texture.height());
+  for (int y = 0; y < texture.height(); ++y) {
+    for (int x = 0; x < texture.width(); ++x) {
+      const auto byte = tone_map_byte(pixels(x, y), gain, mean);
       img.at(x, y) = {byte, byte, byte};
     }
   }

@@ -58,4 +58,19 @@ struct ToneMap {
 /// Measured standard deviation of a texture (used by auto gain and tests).
 [[nodiscard]] double texture_stddev(const Framebuffer& texture);
 
+/// Auto-gain statistics over *sanitized* pixels (non-finite counted as the
+/// zero-mean texture's neutral 0.0) — one NaN cannot poison a whole
+/// frame's contrast. Shared by every float→byte tone-map path.
+struct ToneStats {
+  double mean = 0.0;
+  double sigma = 0.0;
+};
+[[nodiscard]] ToneStats sanitized_tone_stats(const Framebuffer& texture);
+
+/// One pixel of the tone map: gray = 0.5 + gain * (value - mean), clamped
+/// to [0, 255]. Non-finite values flush to neutral mid-gray *before* the
+/// clamp, so the float→byte cast is deterministic for every input (clamp
+/// on NaN is unspecified, lround on NaN is undefined).
+[[nodiscard]] std::uint8_t tone_map_byte(float value, double gain, double mean);
+
 }  // namespace dcsn::render

@@ -26,7 +26,7 @@ void GraphicsPipe::bind_profile(std::shared_ptr<const SpotProfile> profile) {
 
 void GraphicsPipe::set_blend_mode(BlendMode mode) { queue_.push(CmdBlendMode{mode}); }
 
-void GraphicsPipe::set_viewport_origin(float x, float y) {
+void GraphicsPipe::set_viewport_origin(int x, int y) {
   queue_.push(CmdViewport{x, y});
 }
 

@@ -84,8 +84,10 @@ class GraphicsPipe {
   void set_blend_mode(BlendMode mode);
 
   /// Sets the viewport origin so geometry in full-texture coordinates lands
-  /// in this pipe's (smaller) target — used by texture tiling.
-  void set_viewport_origin(float x, float y);
+  /// in this pipe's (smaller) target — used by texture tiling. Integral
+  /// pixel origins keep tiled rasterization bit-identical to the
+  /// full-texture path (see render/rasterizer.hpp).
+  void set_viewport_origin(int x, int y);
 
   /// Reallocates the render target (a state change; the old contents are
   /// discarded). Lets the tiled engine reshape its regions between frames
@@ -127,7 +129,7 @@ class GraphicsPipe {
     BlendMode mode;
   };
   struct CmdViewport {
-    float x, y;
+    int x, y;
   };
   struct CmdResize {
     int width, height;
@@ -157,8 +159,8 @@ class GraphicsPipe {
   Framebuffer target_;
   std::shared_ptr<const SpotProfile> bound_profile_;
   BlendMode blend_mode_ = BlendMode::kAdditive;
-  float viewport_x_ = 0.0f;
-  float viewport_y_ = 0.0f;
+  int viewport_x_ = 0;
+  int viewport_y_ = 0;
 
   util::BoundedQueue<Command> queue_;
   mutable std::mutex stats_mutex_;

@@ -42,26 +42,44 @@ inline bool edge_admits(const Edge& e, float value) {
   return value > 0.0f || (value == 0.0f && e.top_left);
 }
 
-// Everything the two fill algorithms share: target-local canonical-winding
-// vertices, the clamped pixel bbox, the three canonical edges, 1/area.
+// Everything the two fill algorithms share: canonical-winding vertices in
+// global pixel coordinates, the target-clamped iteration bbox, the
+// triangle-anchored canonical edges, 1/area.
+//
+// The canonical anchor (ax, ay) is the pixel at the triangle's own bbox
+// corner, clamped only against a fixed frame-independent limit — never
+// against the target rect. Every edge value and UV is evaluated relative to
+// that anchor, so a fragment's coverage and value are pure functions of the
+// triangle and the global pixel: any target containing the pixel (the full
+// texture, or any tile of any decomposition) computes identical bits.
 struct TriSetup {
   MeshVertex a, b, c;
-  int x_min = 0, x_max = 0, y_min = 0, y_max = 0;
+  int x_min = 0, x_max = 0, y_min = 0, y_max = 0;  ///< global, inside target
+  int ax = 0, ay = 0;                              ///< canonical anchor pixel
+  int gx_end = 0;  ///< bbox's exclusive right end in anchor units
   Edge ab, bc, ca;
   float inv_area = 0.0f;
 };
 
+// The anchor clamp: 2^22. Keeps float(anchor) + 0.5 exact and every
+// in-target (kx, ky) offset below 2^24, where int -> float is exact. Only
+// insane off-screen geometry ever hits the clamp, and the clamp itself is
+// target-independent.
+constexpr float kAnchorLimit = 4194304.0f;
+
+// How far beyond the target rect the span solver resolves a row's
+// *geometric* boundaries. The UV sampler is rebased at the geometric
+// in-range span start, which must not depend on where the target happens
+// to clip the row — otherwise a tile would sample fragments a last-bit
+// differently from the full texture. A triangle whose span overhangs the
+// target by more than this (possible only for meshes wider than 4096 px —
+// far beyond any real spot) falls back to a clamped, still-deterministic
+// solve; the walk stays bounded either way.
+constexpr int kGeomSlack = 4096;
+
 // Rejects degenerate / non-finite / off-target triangles; fills `s` else.
 bool setup_triangle(const RasterTarget& target, MeshVertex a, MeshVertex b,
                     MeshVertex c, TriSetup& s) {
-  // Shift into target-local pixel coordinates.
-  a.x -= target.origin_x;
-  a.y -= target.origin_y;
-  b.x -= target.origin_x;
-  b.y -= target.origin_y;
-  c.x -= target.origin_x;
-  c.y -= target.origin_y;
-
   // Signed doubled area; positive means screen-clockwise (our canonical
   // winding). Flip b/c to normalize — bent-spot ribbons can fold over.
   float area2 = (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
@@ -75,20 +93,31 @@ bool setup_triangle(const RasterTarget& target, MeshVertex a, MeshVertex b,
   const float max_x = std::max({a.x, b.x, c.x});
   const float min_y = std::min({a.y, b.y, c.y});
   const float max_y = std::max({a.y, b.y, c.y});
-  const auto fw = static_cast<float>(target.pixels.width());
-  const auto fh = static_cast<float>(target.pixels.height());
+  // The target's global pixel rect [tx0, tx1) x [ty0, ty1).
+  const auto tx0 = static_cast<float>(target.origin_x);
+  const auto ty0 = static_cast<float>(target.origin_y);
+  const auto tx1 = static_cast<float>(target.origin_x + target.pixels.width());
+  const auto ty1 = static_cast<float>(target.origin_y + target.pixels.height());
   // Reject off-target (or NaN-extent) boxes while still in float space; the
   // negated comparisons make any NaN land in the reject branch.
-  if (!(min_x < fw) || !(min_y < fh) || !(max_x >= 0.0f) || !(max_y >= 0.0f)) {
+  if (!(min_x < tx1) || !(min_y < ty1) || !(max_x >= tx0) || !(max_y >= ty0)) {
     return false;
   }
   // Clamp to the target rect *before* the int cast: a far-off-screen vertex
   // (|coordinate| beyond ~2^31) would make the unclamped cast undefined.
-  s.x_min = static_cast<int>(std::floor(std::clamp(min_x, 0.0f, fw - 1.0f)));
-  s.x_max = static_cast<int>(std::ceil(std::clamp(max_x, 0.0f, fw - 1.0f)));
-  s.y_min = static_cast<int>(std::floor(std::clamp(min_y, 0.0f, fh - 1.0f)));
-  s.y_max = static_cast<int>(std::ceil(std::clamp(max_y, 0.0f, fh - 1.0f)));
+  s.x_min = static_cast<int>(std::floor(std::clamp(min_x, tx0, tx1 - 1.0f)));
+  s.x_max = static_cast<int>(std::ceil(std::clamp(max_x, tx0, tx1 - 1.0f)));
+  s.y_min = static_cast<int>(std::floor(std::clamp(min_y, ty0, ty1 - 1.0f)));
+  s.y_max = static_cast<int>(std::ceil(std::clamp(max_y, ty0, ty1 - 1.0f)));
   if (s.x_min > s.x_max || s.y_min > s.y_max) return false;
+
+  // Target-independent canonical anchor, and the bbox's own right end in
+  // anchor units (the span solver's geometric walk limit).
+  s.ax = static_cast<int>(std::floor(std::clamp(min_x, -kAnchorLimit, kAnchorLimit)));
+  s.ay = static_cast<int>(std::floor(std::clamp(min_y, -kAnchorLimit, kAnchorLimit)));
+  s.gx_end =
+      static_cast<int>(std::ceil(std::clamp(max_x, -kAnchorLimit, kAnchorLimit))) -
+      s.ax + 1;
 
   // Watertightness: adjacent triangles traverse a shared edge in opposite
   // directions. Evaluating both against the *same* canonical endpoint
@@ -96,15 +125,19 @@ bool setup_triangle(const RasterTarget& target, MeshVertex a, MeshVertex b,
   // operation in edge construction and evaluation is negation-symmetric in
   // IEEE arithmetic), so a pixel on the seam is inside exactly one triangle
   // (top-left rule breaks the e == 0 tie) and never falls through a
-  // rounding gap.
+  // rounding gap. (Adjacent triangles share the bbox corner along the seam
+  // in the mesh's row/column direction only; the anchor can differ — but
+  // the negation symmetry holds per-pixel through the shared kx/ky offsets
+  // of whichever triangle is evaluated, and the seam tests pin the
+  // behaviour.)
   auto make_edge = [&](const MeshVertex& from, const MeshVertex& to) {
     const bool swapped = (to.x < from.x) || (to.x == from.x && to.y < from.y);
     const MeshVertex& lo = swapped ? to : from;
     const MeshVertex& hi = swapped ? from : to;
     const float cdx = hi.x - lo.x;
     const float cdy = hi.y - lo.y;
-    const float px = static_cast<float>(s.x_min) + 0.5f;
-    const float py = static_cast<float>(s.y_min) + 0.5f;
+    const float px = static_cast<float>(s.ax) + 0.5f;
+    const float py = static_cast<float>(s.ay) + 0.5f;
     const float canonical = cdx * (py - lo.y) - cdy * (px - lo.x);
     const float sign = swapped ? -1.0f : 1.0f;
     Edge edge;
@@ -141,13 +174,14 @@ void raster_tri_reference(const RasterTarget& target, MeshVertex va, MeshVertex 
   const auto pixels = target.pixels;
   std::int64_t fragments = 0;
   for (int y = s.y_min; y <= s.y_max; ++y) {
-    const int ky = y - s.y_min;
+    const int ky = y - s.ay;
     const float r_ab = edge_row_value(s.ab, ky);
     const float r_bc = edge_row_value(s.bc, ky);
     const float r_ca = edge_row_value(s.ca, ky);
-    float* row = &pixels(0, y);
+    float* row = &pixels(0, y - target.origin_y);
     for (int x = s.x_min; x <= s.x_max; ++x) {
-      const int kx = x - s.x_min;
+      const int kx = x - s.ax;
+      const int lx = x - target.origin_x;
       const float v_ab = edge_value(s.ab, r_ab, kx);
       const float v_bc = edge_value(s.bc, r_bc, kx);
       const float v_ca = edge_value(s.ca, r_ca, kx);
@@ -159,10 +193,11 @@ void raster_tri_reference(const RasterTarget& target, MeshVertex va, MeshVertex 
         const float u = wa * s.a.u + wb * s.b.u + wc * s.c.u;
         const float v = wa * s.a.v + wb * s.b.v + wc * s.c.v;
         const float texel = profile.sample(u, v);
+        const float value = util::simd::quantize_contribution(weight * texel);
         if constexpr (Mode == BlendMode::kAdditive) {
-          row[x] += weight * texel;
+          row[lx] += value;
         } else {
-          row[x] = std::max(row[x], weight * texel);
+          row[lx] = std::max(row[lx], value);
         }
         ++fragments;
       }
@@ -203,11 +238,11 @@ struct RowBound {
   double base = 0.0, slope = 0.0;
 };
 
-// Seed clamped to [0, len]; NaN (overflowed intercepts) seeds 0.
-inline int seed_from(double est, int len) {
-  if (est >= static_cast<double>(len)) return len;
-  if (est > 0.0) return static_cast<int>(est);
-  return 0;
+// Seed clamped to [lo, hi]; NaN (overflowed intercepts) seeds lo.
+inline int seed_from(double est, int lo, int hi) {
+  if (est >= static_cast<double>(hi)) return hi;
+  if (est > static_cast<double>(lo)) return static_cast<int>(est);
+  return lo;
 }
 
 template <BlendMode Mode>
@@ -218,7 +253,15 @@ void raster_tri_span(const RasterTarget& target, MeshVertex va, MeshVertex vb,
   if (!setup_triangle(target, va, vb, vc, s)) return;
 
   const auto pixels = target.pixels;
-  const int len = s.x_max - s.x_min + 1;
+  // The rendered kx window relative to the canonical anchor: [klo, kend).
+  const int klo = s.x_min - s.ax;
+  const int kend = s.x_max - s.ax + 1;
+  // The *geometric* solve window: boundaries are resolved past the target
+  // rect (bounded by the bbox and the slack) so the solved span — and the
+  // UV rebase anchored at its in-range start — is a pure function of the
+  // triangle and the row, identical for every target that clips it.
+  const int gfloor = std::max(0, klo - kGeomSlack);
+  const int gceil = std::min(s.gx_end, kend + kGeomSlack);
 
   // Classify the three edges once (dy's sign is fixed across the raster)
   // and precompute each sloped edge's x-intercept line.
@@ -286,19 +329,21 @@ void raster_tri_span(const RasterTarget& target, MeshVertex va, MeshVertex vb,
   std::int64_t fragments = 0;
   std::int64_t visited = 0;
   for (int y = s.y_min; y <= s.y_max; ++y) {
-    const int ky = y - s.y_min;
+    const int ky = y - s.ay;
     const float kyf = static_cast<float>(ky);
 
-    // Solve the canonical edge functions for the covered interval [lo, hi).
-    // Each bound's row value r is the same float expression the reference
-    // walk evaluates (edge_row_value), and each boundary is settled by the
-    // exact admission comparison — coverage is bit-identical by
-    // construction.
-    int lo = 0;
-    int hi = len;
+    // Solve the canonical edge functions for the *geometric* covered
+    // interval [g_lo, g_hi) in anchor-relative kx units. Each bound's row
+    // value r is the same float expression the reference walk evaluates
+    // (edge_row_value), and each boundary is settled by the exact
+    // admission comparison — coverage inside the target is bit-identical
+    // to the reference by construction, and the boundaries themselves do
+    // not depend on where the target clips the row.
+    int g_lo = gfloor;
+    int g_hi = gceil;
     for (int i = 0; i < n_flat; ++i) {
       const float r = flat[i].origin + kyf * flat[i].dx;
-      if (!(r > 0.0f || (r == 0.0f && flat[i].top_left))) hi = 0;
+      if (!(r > 0.0f || (r == 0.0f && flat[i].top_left))) g_hi = gfloor;
     }
     for (int i = 0; i < n_right; ++i) {
       const RowBound& b = right[i];
@@ -307,10 +352,10 @@ void raster_tri_span(const RasterTarget& target, MeshVertex va, MeshVertex vb,
         const float m = static_cast<float>(kx) * b.dy;
         return b.top_left ? (m <= r) : (m < r);
       };
-      int k = seed_from(b.base + ky * b.slope, len);
-      while (k < len && admits(k)) ++k;
-      while (k > 0 && !admits(k - 1)) --k;
-      hi = std::min(hi, k);
+      int k = seed_from(b.base + ky * b.slope, gfloor, gceil);
+      while (k < gceil && admits(k)) ++k;
+      while (k > gfloor && !admits(k - 1)) --k;
+      g_hi = std::min(g_hi, k);
     }
     for (int i = 0; i < n_left; ++i) {
       const RowBound& b = left[i];
@@ -319,55 +364,66 @@ void raster_tri_span(const RasterTarget& target, MeshVertex va, MeshVertex vb,
         const float m = static_cast<float>(kx) * b.dy;
         return b.top_left ? (m <= r) : (m < r);
       };
-      int k = seed_from(b.base + ky * b.slope, len);
-      while (k < len && !admits(k)) ++k;
-      while (k > 0 && admits(k - 1)) --k;
-      lo = std::max(lo, k);
+      int k = seed_from(b.base + ky * b.slope, gfloor, gceil);
+      while (k < gceil && !admits(k)) ++k;
+      while (k > gfloor && admits(k - 1)) --k;
+      g_lo = std::max(g_lo, k);
     }
-    if (lo >= hi) continue;
+    if (g_lo >= g_hi) continue;
 
+    // The rendered interval is the geometric span clipped to the target.
+    const int lo = std::max(g_lo, klo);
+    const int hi = std::min(g_hi, kend);
+    if (lo >= hi) continue;
     const int n = hi - lo;
     fragments += n;
     visited += n;
 
-    // UV at the span's first pixel, from the per-triangle affine form.
-    const double u0 = U00 + ky * du_dy + lo * du_dx;
-    const double v0 = V00 + ky * dv_dy + lo * dv_dx;
-
     // Bounds handling, hoisted: fragments whose UV leaves [0,1)^2 (float
     // rounding at mesh seams, or genuinely off-profile geometry) sample
     // zero. u and v are affine in k, so the in-range set is a sub-interval
-    // [s0, s1); scanning inward from the span ends with the exact per-k
-    // predicate costs one check per *out-of-range* fragment — almost always
-    // zero — and leaves the interior loop with no bounds checks at all.
+    // [s0, s1) of the geometric span; scanning inward from its ends with
+    // the exact per-k predicate costs one check per *out-of-range*
+    // fragment — almost always zero. Everything is evaluated at absolute
+    // anchor-relative k (`u_row + k*du_dx`), never rebased on a clipped
+    // span start, so the sampler state below is target-independent too.
+    const double u_row = U00 + ky * du_dy;
+    const double v_row = V00 + ky * dv_dy;
     const auto uv_in = [&](int k) {
-      const double u = u0 + k * du_dx;
-      const double v = v0 + k * dv_dx;
+      const double u = u_row + k * du_dx;
+      const double v = v_row + k * dv_dx;
       return u >= 0.0 && u < 1.0 && v >= 0.0 && v < 1.0;
     };
-    int s0 = 0;
-    while (s0 < n && !uv_in(s0)) ++s0;
-    int s1 = n;
+    int s0 = g_lo;
+    while (s0 < g_hi && !uv_in(s0)) ++s0;
+    int s1 = g_hi;
     while (s1 > s0 && !uv_in(s1 - 1)) --s1;
+    // Rendered portion of the in-range sub-span.
+    const int r0 = std::clamp(s0, lo, hi);
+    const int r1 = std::clamp(s1, r0, hi);
 
-    float* dst = &pixels(0, y) + s.x_min + lo;
+    float* dst = &pixels(0, y - target.origin_y) + (s.ax + lo - target.origin_x);
     if constexpr (Mode == BlendMode::kMaximum) {
-      // The reference blends max(dst, weight * 0) on zero-texel fragments;
-      // replicate that on the out-of-range flanks.
-      util::simd::max_with(dst, weight * 0.0f, s0);
-      util::simd::max_with(dst + s1, weight * 0.0f, n - s1);
+      // The reference blends max(dst, quantize(weight * 0)) on zero-texel
+      // fragments; replicate that on the out-of-range flanks.
+      const float flank = util::simd::quantize_contribution(weight * 0.0f);
+      util::simd::max_with(dst, flank, r0 - lo);
+      util::simd::max_with(dst + (r1 - lo), flank, hi - r1);
     }
-    if (s0 < s1) {
-      const int m = s1 - s0;
-      // Rebase the sampler to the in-range sub-span start, which is in
-      // [0,1)^2 so the fixed-point position fits (and, for m >= 2, the end
-      // being in range bounds the step — see RowSampler).
-      sampler.start_row(u0 + s0 * du_dx, v0 + s0 * dv_dx);
-      float* frag = dst + s0;
+    if (r0 < r1) {
+      const int m = r1 - r0;
+      // Rebase the sampler at the geometric in-range start s0 — in [0,1)^2
+      // so the fixed-point position fits — and step to the first rendered
+      // fragment. Rendered fragments sample at offsets r0-s0 .. r1-1-s0.
+      sampler.start_row(u_row + s0 * du_dx, v_row + s0 * dv_dx);
+      const int base = r0 - s0;
+      float* frag = dst + (r0 - lo);
       if (m < kStagedSpan) {
-        // Short span: fused sample+blend, no staging overhead.
+        // Short span: fused sample+blend, no staging overhead. The lattice
+        // snap matches the staged kernels and the reference walk exactly.
         for (int k = 0; k < m; ++k) {
-          const float value = weight * sampler.sample_at(k);
+          const float value = util::simd::quantize_contribution(
+              weight * sampler.sample_at(base + k));
           if constexpr (Mode == BlendMode::kAdditive) {
             frag[k] += value;
           } else {
@@ -380,7 +436,8 @@ void raster_tri_span(const RasterTarget& target, MeshVertex va, MeshVertex vb,
         while (k < m) {
           const int chunk = std::min(kRowTile, m - k);
 #pragma omp simd
-          for (int i = 0; i < chunk; ++i) texels[i] = sampler.sample_at(k + i);
+          for (int i = 0; i < chunk; ++i)
+            texels[i] = sampler.sample_at(base + k + i);
           if constexpr (Mode == BlendMode::kAdditive) {
             util::simd::add_scaled(frag + k, texels, weight, chunk);
           } else {

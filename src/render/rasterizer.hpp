@@ -26,6 +26,19 @@
 // from the canonical row origin), so their pixel coverage is bit-identical
 // — the fuzz suite in tests/test_rasterizer.cpp asserts exactly that — and
 // shared-edge watertightness (no seam gap, no double blend) is preserved.
+//
+// Rasterization is *target-independent*: vertices stay in full-texture
+// ("global") pixel coordinates, the canonical anchor for edge and UV
+// evaluation is derived from the triangle's own bounding box (never from
+// the target rect), and the target origin is used purely for addressing.
+// A fragment's coverage decision and blended value are therefore pure
+// functions of the triangle and the global pixel — identical bits whether
+// the pixel is rendered by a full-texture pipe or by any tile that contains
+// it. Combined with the contribution lattice (util/simd.hpp), which makes
+// additive blending exactly associative, the whole engine produces
+// bit-identical textures across pipe counts, contiguous vs tiled mode,
+// tile layouts, and work-steal schedules — the determinism suite asserts
+// this, and core::SynthesisCache's temporal tile reuse depends on it.
 #pragma once
 
 #include <cstdint>
@@ -48,12 +61,16 @@ enum class RasterAlgorithm {
   kReference,  ///< per-pixel bounding-box walk
 };
 
-/// Where fragments land. `origin_x/y` let a tile rasterize geometry that is
-/// expressed in full-texture coordinates (texture decomposition, paper §3).
+/// Where fragments land. `origin_x/y` is the global pixel coordinate of
+/// pixels(0, 0), letting a tile rasterize geometry that is expressed in
+/// full-texture coordinates (texture decomposition, paper §3). Integral on
+/// purpose: tiles sit on pixel boundaries, and an integer origin keeps
+/// addressing exact so tiled output matches the full-texture pipes bit for
+/// bit.
 struct RasterTarget {
   util::Span2D<float> pixels;
-  float origin_x = 0.0f;
-  float origin_y = 0.0f;
+  int origin_x = 0;
+  int origin_y = 0;
   RasterAlgorithm algorithm = RasterAlgorithm::kSpan;
 };
 

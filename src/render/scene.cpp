@@ -29,12 +29,14 @@ Image render_scene(const Framebuffer& texture, const SceneView& view) {
              "texture world rect must be non-empty");
 
   // Tone-map parameters from the *visible* data so zooming keeps contrast.
+  // Sanitized statistics + tone_map_byte: the same NaN-proof float->byte
+  // path as texture_to_image (see render/image.hpp).
   double gain = view.tone.gain;
   double mean = 0.0;
   if (view.tone.auto_gain) {
-    mean = texture.mean();
-    const double sigma = texture_stddev(texture);
-    gain = sigma > 0.0 ? 0.5 / (view.tone.sigma_range * sigma) : 1.0;
+    const ToneStats stats = sanitized_tone_stats(texture);
+    mean = stats.mean;
+    gain = stats.sigma > 0.0 ? 0.5 / (view.tone.sigma_range * stats.sigma) : 1.0;
   }
 
   Image img(view.out_width, view.out_height);
@@ -51,9 +53,7 @@ Image render_scene(const Framebuffer& texture, const SceneView& view) {
       const double ty = (view.texture_world.y1 - world.y) /
                         view.texture_world.height() * texture.height();
       const float value = sample_texture(texture, tx, ty);
-      const double gray = 0.5 + gain * (value - mean);
-      const auto byte = static_cast<std::uint8_t>(
-          std::lround(std::clamp(gray, 0.0, 1.0) * 255.0));
+      const auto byte = tone_map_byte(value, gain, mean);
       img.at(x, y) = {byte, byte, byte};
     }
   }

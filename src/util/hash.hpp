@@ -1,0 +1,30 @@
+// FNV-1a 64-bit: tiny, dependency-free content fingerprinting.
+//
+// Used to hash float framebuffers for the golden-frame regression suite —
+// the engine is bit-deterministic (see render/rasterizer.hpp), so a frame's
+// hash is a stable fingerprint on a given toolchain. FNV-1a is not a
+// cryptographic hash; it only has to make an accidental collision between a
+// regressed frame and its golden astronomically unlikely.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dcsn::util {
+
+inline constexpr std::uint64_t kFnv1aOffset = 1469598103934665603ULL;
+inline constexpr std::uint64_t kFnv1aPrime = 1099511628211ULL;
+
+/// Hashes `bytes` bytes starting at `data`; chain calls via `seed`.
+[[nodiscard]] inline std::uint64_t fnv1a(const void* data, std::size_t bytes,
+                                         std::uint64_t seed = kFnv1aOffset) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= kFnv1aPrime;
+  }
+  return h;
+}
+
+}  // namespace dcsn::util

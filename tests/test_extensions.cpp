@@ -308,7 +308,12 @@ TEST(PipelinedAnimator, OverlapHidesPreparation) {
   for (int k = 0; k < 3; ++k) serial += sequential.step().total_seconds;
   serial /= 3;
 
-  EXPECT_LT(pipelined, serial - 0.5 * kReadDelay);
+  // Without overlap, pipelined == serial up to scheduler noise (a few ms
+  // here), so consistently hiding a third of the read delay already proves
+  // the pipeline works. The margin is deliberately below half: on a loaded
+  // one-core host the prepare thread only advances during engine stalls,
+  // and demanding most of the delay hidden made this flake under load.
+  EXPECT_LT(pipelined, serial - 0.35 * kReadDelay);
 }
 
 }  // namespace

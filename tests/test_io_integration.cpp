@@ -3,12 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <limits>
 
 #include "core/animator.hpp"
 #include "core/dnc_synthesizer.hpp"
 #include "core/serial_synthesizer.hpp"
 #include "field/analytic.hpp"
 #include "io/ppm.hpp"
+#include "render/scene.hpp"
 #include "sim/smog_model.hpp"
 #include "util/error.hpp"
 
@@ -49,6 +51,71 @@ TEST(Ppm, RejectsBadPath) {
   render::Image img(2, 2);
   EXPECT_THROW(io::write_ppm("/nonexistent_dir_xyz/out.ppm", img), util::Error);
   EXPECT_THROW((void)io::read_ppm("/nonexistent_dir_xyz/in.ppm"), util::Error);
+}
+
+TEST(Ppm, PgmRoundTripRecoversBytes) {
+  const std::string path = testing::TempDir() + "/dcsn_pgm_roundtrip.pgm";
+  render::Framebuffer fb(9, 6);
+  for (int y = 0; y < 6; ++y)
+    for (int x = 0; x < 9; ++x) fb.at(x, y) = 0.1f * static_cast<float>(x - 4);
+  io::write_pgm(path, fb);
+  const render::Image back = io::read_pgm(path);
+  const render::Image expected = render::texture_to_image(fb);
+  ASSERT_EQ(back.width(), 9);
+  ASSERT_EQ(back.height(), 6);
+  for (int y = 0; y < 6; ++y)
+    for (int x = 0; x < 9; ++x) EXPECT_EQ(back.at(x, y), expected.at(x, y));
+  std::filesystem::remove(path);
+}
+
+TEST(Ppm, OutOfGamutAndNonFiniteValuesWriteDeterministically) {
+  // Hostile framebuffer contents: NaN, +/-inf and values far outside the
+  // tone-mapped gamut must clamp/flush to defined bytes — the float->byte
+  // cast was UB on NaN before the sanitize in texture_to_image.
+  const std::string path = testing::TempDir() + "/dcsn_pgm_hostile.pgm";
+  render::Framebuffer fb(4, 2);
+  fb.at(0, 0) = std::numeric_limits<float>::quiet_NaN();
+  fb.at(1, 0) = std::numeric_limits<float>::infinity();
+  fb.at(2, 0) = -std::numeric_limits<float>::infinity();
+  fb.at(3, 0) = 1.0e30f;   // out of gamut high
+  fb.at(0, 1) = -1.0e30f;  // out of gamut low
+  fb.at(1, 1) = 0.5f;
+  fb.at(2, 1) = -0.5f;
+
+  // Fixed gain so the expectations are exact: gray = 0.5 + value, clamped.
+  render::ToneMap tone;
+  tone.auto_gain = false;
+  tone.gain = 1.0;
+  const render::Image img = render::texture_to_image(fb, tone);
+  // Non-finite flushes to the texture's neutral zero -> mid-gray.
+  EXPECT_EQ(img.at(0, 0).r, 128);
+  EXPECT_EQ(img.at(1, 0).r, 128);
+  EXPECT_EQ(img.at(2, 0).r, 128);
+  // Finite out-of-gamut clamps to the byte range ends.
+  EXPECT_EQ(img.at(3, 0).r, 255);
+  EXPECT_EQ(img.at(0, 1).r, 0);
+  EXPECT_EQ(img.at(1, 1).r, 255);
+  EXPECT_EQ(img.at(2, 1).r, 0);
+
+  // And the whole pipeline (auto-gain included) survives the NaN: the
+  // write + read round trip reproduces texture_to_image exactly.
+  io::write_pgm(path, fb);
+  const render::Image back = io::read_pgm(path);
+  const render::Image expected = render::texture_to_image(fb);
+  for (int y = 0; y < 2; ++y)
+    for (int x = 0; x < 4; ++x) EXPECT_EQ(back.at(x, y), expected.at(x, y));
+  std::filesystem::remove(path);
+
+  // render_scene shares the same sanitized tone-map path: the NaN corner
+  // resamples to defined neutral mid-gray, never an undefined cast.
+  render::SceneView view;
+  view.out_width = 8;
+  view.out_height = 8;
+  view.texture_world = {0.0, 0.0, 1.0, 1.0};
+  view.window = view.texture_world;
+  view.tone = tone;
+  const render::Image scene = render::render_scene(fb, view);
+  EXPECT_EQ(scene.at(0, 0).r, 128);
 }
 
 // --------------------------------------------------------------- Animator ---

@@ -8,6 +8,17 @@
 #include "render/pipe.hpp"
 #include "util/stopwatch.hpp"
 
+// TSan detection for both GCC (__SANITIZE_THREAD__) and Clang
+// (__has_feature): the wall-clock overlap assertion is skipped under the
+// instrumented build — see OverlapsWithSubmitterWork.
+#if defined(__SANITIZE_THREAD__)
+#define DCSN_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define DCSN_TSAN 1
+#endif
+#endif
+
 namespace {
 
 using namespace dcsn;
@@ -163,7 +174,7 @@ TEST(GraphicsPipe, ViewportOriginShiftsRendering) {
   auto pc = small_pipe();
   render::GraphicsPipe pipe(pc, nullptr);
   pipe.bind_profile(render::SpotProfile::make_shared(render::SpotShape::kDisc));
-  pipe.set_viewport_origin(100.0f, 200.0f);
+  pipe.set_viewport_origin(100, 200);
   pipe.clear();
   // Geometry in global coordinates [100,132)x[200,232) covers the tile.
   pipe.submit(unit_quad(100, 200, 132, 232));
@@ -177,6 +188,11 @@ TEST(GraphicsPipe, OverlapsWithSubmitterWork) {
   // The cost multiplier keeps the per-quad raster work heavy enough for the
   // overlap to be measurable on a loaded one-core host — the span-kernel
   // rewrite made plain fullscreen quads too cheap for the wall-clock margin.
+#if defined(DCSN_TSAN)
+  GTEST_SKIP() << "wall-clock overlap margin is not meaningful under TSan's "
+                  "slowdown on an oversubscribed host; races in this path are "
+                  "covered by the rest of the suite";
+#endif
   auto pc = small_pipe();
   pc.width = 256;
   pc.height = 256;

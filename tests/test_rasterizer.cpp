@@ -61,7 +61,7 @@ TriRun run_triangle(RasterAlgorithm algo, const MeshVertex& a, const MeshVertex&
                     int w = 64, int h = 48, float clear = 0.0f) {
   TriRun run{Framebuffer(w, h), {}};
   run.fb.clear(clear);
-  const RasterTarget target{run.fb.pixels(), 0.0f, 0.0f, algo};
+  const RasterTarget target{run.fb.pixels(), 0, 0, algo};
   dcsn::render::rasterize_triangle(target, a, b, c, weight, profile, mode, run.stats);
   return run;
 }
@@ -196,7 +196,7 @@ void expect_watertight_rect(RasterAlgorithm algo, float x0, float y0, float x1,
                             float y1, Framebuffer* out = nullptr) {
   Framebuffer fb(64, 48);
   RasterStats stats;
-  const RasterTarget target{fb.pixels(), 0.0f, 0.0f, algo};
+  const RasterTarget target{fb.pixels(), 0, 0, algo};
   const MeshVertex v00 = vtx(x0, y0);
   const MeshVertex v10 = vtx(x1, y0);
   const MeshVertex v11 = vtx(x1, y1);
@@ -260,7 +260,7 @@ TEST(SpanWatertight, SharedEdgeTrianglePairsNeverDoubleBlend) {
          {RasterAlgorithm::kReference, RasterAlgorithm::kSpan}) {
       Framebuffer fb(64, 48);
       RasterStats stats;
-      const RasterTarget target{fb.pixels(), 0.0f, 0.0f, algo};
+      const RasterTarget target{fb.pixels(), 0, 0, algo};
       dcsn::render::rasterize_triangle(target, p, r, s, 1.0f, coverage_profile(),
                                        BlendMode::kAdditive, stats);
       dcsn::render::rasterize_triangle(target, r, p, t, 1.0f, coverage_profile(),
@@ -374,6 +374,47 @@ TEST(SpotProfileBounds, RowSamplerMatchesPointSampler) {
     EXPECT_NEAR(sampler.sample_at(k),
                 profile.sample(static_cast<float>(u), static_cast<float>(v)), 2e-6f)
         << "k=" << k;
+  }
+}
+
+TEST(SpanEquivalence, TileClippedSpansMatchFullTargetBitwise) {
+  // Target independence at the fragment-value level: a triangle straddling
+  // a tile's left edge renders the tile's pixels with EXACTLY the bits the
+  // full-texture target produces there. This pins the geometric span solve
+  // + absolute-k UV rebase — a sampler rebased on the *clipped* span start
+  // would differ in the last bits and occasionally flip a contribution
+  // across a lattice tie.
+  const SpotProfile profile(SpotShape::kCosine, 64);
+  dcsn::util::Rng rng(2468);
+  for (const auto algo : {RasterAlgorithm::kSpan, RasterAlgorithm::kReference}) {
+    for (int i = 0; i < 300; ++i) {
+      // Random triangles biased to straddle the x = 32 boundary.
+      auto coord = [&](double lo, double hi) {
+        return static_cast<float>(rng.uniform(lo, hi));
+      };
+      const MeshVertex a{coord(8, 40), coord(0, 64), coord(0, 1), coord(0, 1)};
+      const MeshVertex b{coord(24, 56), coord(0, 64), coord(0, 1), coord(0, 1)};
+      const MeshVertex c{coord(8, 56), coord(0, 64), coord(0, 1), coord(0, 1)};
+      const auto weight = static_cast<float>(rng.uniform(-1.0, 1.0));
+
+      Framebuffer full(64, 64);
+      RasterStats full_stats;
+      dcsn::render::rasterize_triangle({full.pixels(), 0, 0, algo}, a, b, c,
+                                       weight, profile, BlendMode::kAdditive,
+                                       full_stats);
+      Framebuffer tile(32, 64);
+      RasterStats tile_stats;
+      dcsn::render::rasterize_triangle({tile.pixels(), 32, 0, algo}, a, b, c,
+                                       weight, profile, BlendMode::kAdditive,
+                                       tile_stats);
+      for (int y = 0; y < 64; ++y) {
+        for (int x = 0; x < 32; ++x) {
+          ASSERT_EQ(full.at(x + 32, y), tile.at(x, y))
+              << "algo " << static_cast<int>(algo) << " triangle " << i
+              << " pixel (" << x << ", " << y << ")";
+        }
+      }
+    }
   }
 }
 

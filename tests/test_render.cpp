@@ -13,6 +13,7 @@
 #include "render/overlay.hpp"
 #include "render/rasterizer.hpp"
 #include "render/spot_profile.hpp"
+#include "util/simd.hpp"
 #include "util/error.hpp"
 
 namespace {
@@ -174,7 +175,7 @@ render::Framebuffer raster_rect(int fbw, int fbh, float x0, float y0, float x1,
   v[2] = {x0, y1, 0.5f, 0.5f};
   v[3] = {x1, y1, 0.5f, 0.5f};
   render::RasterStats stats;
-  render::rasterize_buffer({fb.pixels(), 0.0f, 0.0f}, buf, profile,
+  render::rasterize_buffer({fb.pixels(), 0, 0}, buf, profile,
                            render::BlendMode::kAdditive, stats);
   return fb;
 }
@@ -212,7 +213,7 @@ TEST(Rasterizer, SharedQuadEdgeBlendsEachPixelOnce) {
   v[4] = {8.0f, 10.0f, 0.5f, 0.5f};
   v[5] = {14.0f, 10.0f, 0.5f, 0.5f};
   render::RasterStats stats;
-  render::rasterize_buffer({fb.pixels(), 0.0f, 0.0f}, buf, profile,
+  render::rasterize_buffer({fb.pixels(), 0, 0}, buf, profile,
                            render::BlendMode::kAdditive, stats);
   EXPECT_EQ(stats.quads, 2);
   // All covered pixels must carry the same value (single contribution).
@@ -281,7 +282,7 @@ TEST(Rasterizer, ViewportOriginShiftsGeometry) {
   v[2] = {8.0f, 8.0f, 0.5f, 0.5f};
   v[3] = {12.0f, 8.0f, 0.5f, 0.5f};
   render::RasterStats stats;
-  render::rasterize_buffer({tile.pixels(), 8.0f, 4.0f}, buf, profile,
+  render::rasterize_buffer({tile.pixels(), 8, 4}, buf, profile,
                            render::BlendMode::kAdditive, stats);
   EXPECT_EQ(count_nonzero(tile), 16);
   EXPECT_NE(tile.at(0, 0), 0.0f);  // global (8,4) = local (0,0)
@@ -320,7 +321,9 @@ TEST(Rasterizer, MaximumBlendTakesMax) {
   render::rasterize_buffer({fb.pixels(), 0, 0}, buf, profile,
                            render::BlendMode::kMaximum, stats);
   const float center_profile = profile.sample(0.5f, 0.5f);
-  EXPECT_NEAR(fb.at(2, 2), center_profile, 1e-6f);
+  // Blended values sit on the contribution lattice (util/simd.hpp), so the
+  // raw profile sample can differ by up to half a quantum.
+  EXPECT_NEAR(fb.at(2, 2), center_profile, util::simd::kContributionQuantum);
 }
 
 TEST(Rasterizer, NegativeWeightSubtracts) {
@@ -393,6 +396,26 @@ TEST(Compose, TilesComposeDisjointly) {
   EXPECT_EQ(final_texture.at(1, 3), 1.0f);
   EXPECT_EQ(final_texture.at(2, 0), 2.0f);
   EXPECT_EQ(final_texture.at(3, 3), 2.0f);
+}
+
+TEST(Compose, MaskedComposeRetainsCleanRegions) {
+  // The temporal-coherence merge: dirty tiles are copied over, clean tiles'
+  // regions keep the previous frame's pixels, and a clean entry's buffer is
+  // never read (it may be empty — the engine skips its readback entirely).
+  std::vector<render::Framebuffer> tiles(2);
+  tiles[1] = render::Framebuffer(2, 4);
+  tiles[1].clear(7.0f);
+  const std::vector<render::TilePlacement> placements = {{0, 0}, {2, 0}};
+  const std::vector<std::uint8_t> dirty = {0, 1};
+  render::Framebuffer final_texture(4, 4);
+  final_texture.clear(3.0f);  // "previous frame"
+  const auto pixels =
+      render::compose_tiles_masked(final_texture, tiles, placements, dirty);
+  EXPECT_EQ(pixels, 8);
+  EXPECT_EQ(final_texture.at(0, 0), 3.0f);  // retained
+  EXPECT_EQ(final_texture.at(1, 3), 3.0f);
+  EXPECT_EQ(final_texture.at(2, 0), 7.0f);  // freshly composed
+  EXPECT_EQ(final_texture.at(3, 3), 7.0f);
 }
 
 // --------------------------------------------------------------- colormap ---

@@ -308,7 +308,7 @@ TEST(Scheduling, WorkerExceptionRethrownOnCallerAndEngineStaysUsable) {
 
 TEST(Rasterizer, FarOffscreenVerticesAreClampedNotUndefined) {
   render::Framebuffer fb(32, 32);
-  const render::RasterTarget target{fb.pixels(), 0.0f, 0.0f};
+  const render::RasterTarget target{fb.pixels(), 0, 0};
   const render::SpotProfile profile(render::SpotShape::kCosine, 16);
   render::RasterStats stats;
   // A triangle whose vertices sit ~1e12 px away but whose interior covers
@@ -326,7 +326,7 @@ TEST(Rasterizer, FarOffscreenVerticesAreClampedNotUndefined) {
 
 TEST(Rasterizer, EntirelyOffscreenTriangleIsRejectedInFloatSpace) {
   render::Framebuffer fb(32, 32);
-  const render::RasterTarget target{fb.pixels(), 0.0f, 0.0f};
+  const render::RasterTarget target{fb.pixels(), 0, 0};
   const render::SpotProfile profile(render::SpotShape::kCosine, 16);
   render::RasterStats stats;
   const render::MeshVertex a{1e12f, 5.0f, 0.0f, 0.0f};
@@ -339,7 +339,7 @@ TEST(Rasterizer, EntirelyOffscreenTriangleIsRejectedInFloatSpace) {
 
 TEST(Rasterizer, NanVerticesAreRejected) {
   render::Framebuffer fb(16, 16);
-  const render::RasterTarget target{fb.pixels(), 0.0f, 0.0f};
+  const render::RasterTarget target{fb.pixels(), 0, 0};
   const render::SpotProfile profile(render::SpotShape::kCosine, 16);
   render::RasterStats stats;
   const float nan = std::numeric_limits<float>::quiet_NaN();
