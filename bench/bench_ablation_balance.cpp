@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
   const int frames = args.get_int("frames", 3);
   const int processors = args.get_int("processors", 4);
 
-  util::CsvWriter csv("ablation_balance.csv",
+  util::CsvWriter csv(bench::csv_path(argc, argv, "ablation_balance.csv"),
                       {"workload", "pipes", "mode", "scheduler", "modeled_rate",
                        "wall_rate", "imbalance", "stolen_chunks", "steal_ms",
                        "genP_critical_s", "genT_critical_s"});

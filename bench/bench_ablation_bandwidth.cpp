@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
   std::printf("bus-bandwidth ablation on: %s\n", workload.name.c_str());
   std::printf("(geometry traffic is ~31 MB per texture in this workload)\n\n");
 
-  util::CsvWriter csv("ablation_bandwidth.csv",
+  util::CsvWriter csv(bench::csv_path(argc, argv, "ablation_bandwidth.csv"),
                       {"bus_mb_s", "rate", "stall_ms", "traffic_mb_s"});
   std::printf("%12s %12s %14s %16s\n", "bus (MB/s)", "textures/s",
               "pipe stall ms", "traffic (MB/s)");

@@ -41,7 +41,7 @@ int main(int argc, char** argv) {
   }
   const double ref_sigma = render::texture_stddev(reference);
 
-  util::CsvWriter csv("ablation_mesh.csv",
+  util::CsvWriter csv(bench::csv_path(argc, argv, "ablation_mesh.csv"),
                       {"cols", "rows", "vertices_per_spot", "rate", "rms_error"});
   std::printf("%8s %12s %12s %16s\n", "mesh", "verts/spot", "textures/s",
               "RMS err vs 32x17");

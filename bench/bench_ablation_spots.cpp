@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
   dnc.pipes = 2;
   dnc.bus_bytes_per_second = bench::kPaperBusBytesPerSecond;
 
-  util::CsvWriter csv("ablation_spots.csv", {"spots", "rate", "coverage"});
+  util::CsvWriter csv(bench::csv_path(argc, argv, "ablation_spots.csv"), {"spots", "rate", "coverage"});
   std::printf("%8s %12s %12s\n", "spots", "textures/s", "coverage");
   for (const std::int64_t count : {1000, 5000, 10000, 20000, 40000}) {
     bench::Workload variant = bench::make_dns_workload(0);

@@ -62,7 +62,7 @@ int main(int argc, char** argv) {
   workload.synthesis.bent.trace_substeps = 1;
   std::printf("state-change ablation on: %s\n\n", workload.name.c_str());
 
-  util::CsvWriter csv("ablation_state_cost.csv",
+  util::CsvWriter csv(bench::csv_path(argc, argv, "ablation_state_cost.csv"),
                       {"sync_us", "cpu_transform_rate", "pipe_transform_rate"});
   std::printf("%10s %22s %22s %10s\n", "sync (us)", "transform on CPU (t/s)",
               "transform on pipe (t/s)", "penalty");

@@ -16,7 +16,7 @@ int main(int argc, char** argv) {
   const util::Args args(argc, argv);
   const int frames = args.get_int("frames", 2);
 
-  util::CsvWriter csv("ablation_tiling.csv",
+  util::CsvWriter csv(bench::csv_path(argc, argv, "ablation_tiling.csv"),
                       {"workload", "pipes", "mode", "modeled_rate", "wall_rate",
                        "duplicates", "gather_ms", "readback_mb", "imbalance",
                        "stolen_chunks"});

@@ -3,12 +3,18 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 
 #include "field/analytic.hpp"
 #include "sim/dns_solver.hpp"
 #include "sim/smog_model.hpp"
+#include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/rng.hpp"
+
+#ifndef DCSN_BENCH_OUT_DIR
+#define DCSN_BENCH_OUT_DIR "bench_out"
+#endif
 
 namespace dcsn::bench {
 
@@ -380,6 +386,20 @@ void write_csv(const std::string& path, const std::vector<Cell>& cells) {
              std::to_string(c.stats.geometry_bytes)});
   }
   std::printf("wrote %s\n", path.c_str());
+}
+
+std::string csv_path(int argc, char** argv, const std::string& filename) {
+  const util::Args args(argc, argv);
+  std::filesystem::path dir =
+      args.get_string("out", std::string(DCSN_BENCH_OUT_DIR));
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "warning: cannot create %s (%s); writing %s in cwd\n",
+                 dir.string().c_str(), ec.message().c_str(), filename.c_str());
+    return filename;
+  }
+  return (dir / filename).string();
 }
 
 }  // namespace dcsn::bench

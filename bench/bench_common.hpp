@@ -104,8 +104,14 @@ void print_table(const std::string& title, const std::vector<Cell>& cells);
 void check_footnote3(const Workload& workload, double bus_bytes_per_second,
                      int frames);
 
-/// Writes cells to a CSV next to the binary's working directory.
+/// Writes cells to a CSV at `path` (see csv_path for where that should be).
 void write_csv(const std::string& path, const std::vector<Cell>& cells);
+
+/// Where a bench's CSV belongs: `--out=DIR` wins, otherwise the build
+/// tree's bench_out/ directory (DCSN_BENCH_OUT_DIR, injected by CMake).
+/// Creates the directory. Keeps measurement droppings out of the source
+/// tree — a bare filename used to land a stray CSV at the repo root.
+std::string csv_path(int argc, char** argv, const std::string& filename);
 
 // ---------------------------------------------------------------------------
 // Machine-readable perf output (the BENCH_*.json trajectory)

@@ -37,6 +37,6 @@ int main(int argc, char** argv) {
                                       bench::kPaperBusBytesPerSecond, frames);
   bench::print_table("Table 1: atmospheric pollution simulation", cells);
   bench::check_footnote3(workload, bench::kPaperBusBytesPerSecond, frames);
-  bench::write_csv("table1_atmospheric.csv", cells);
+  bench::write_csv(bench::csv_path(argc, argv, "table1_atmospheric.csv"), cells);
   return 0;
 }

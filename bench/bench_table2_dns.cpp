@@ -42,6 +42,6 @@ int main(int argc, char** argv) {
     std::printf("  geometry per texture: %.1f MB (paper: ~31 MB)\n",
                 static_cast<double>(last.stats.geometry_bytes) / 1.0e6);
   }
-  bench::write_csv("table2_dns.csv", cells);
+  bench::write_csv(bench::csv_path(argc, argv, "table2_dns.csv"), cells);
   return 0;
 }

@@ -19,6 +19,13 @@ Animator::Animator(AnimatorConfig config, DncSynthesizer& synthesizer,
              "incremental animation requires a tiled engine (per-tile retention)");
 }
 
+Animator::~Animator() {
+  if (filtered_) {
+    // Scratch returns to the engine's shared framebuffer pool.
+    synthesizer_.runtime().framebuffers().release(std::move(*filtered_));
+  }
+}
+
 AnimationFrame Animator::step() {
   const util::Stopwatch total;
   AnimationFrame out;

@@ -59,6 +59,7 @@ class Animator {
 
   Animator(AnimatorConfig config, DncSynthesizer& synthesizer,
            particles::ParticleSystem& particles, ReadData read_data);
+  ~Animator();
 
   /// Runs one full pipeline iteration and returns its timing breakdown.
   AnimationFrame step();

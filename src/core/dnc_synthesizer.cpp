@@ -1,21 +1,50 @@
 #include "core/dnc_synthesizer.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <numeric>
+#include <shared_mutex>
 #include <string>
+#include <thread>
 #include <utility>
-
-#include "util/error.hpp"
 
 namespace dcsn::core {
 
+using namespace std::chrono_literals;
+
+// Adapter handed to the Runtime registry. Pool workers may hold a snapshot
+// of the registry from before a frame ended (or before the synthesizer was
+// destroyed), so serve() takes a shared lock that detach() — called from
+// the synthesizer's destructor — upgrades against. A post-frame serve()
+// finds the frame closed and returns immediately; a post-destruction one
+// finds the owner detached.
+struct DncSynthesizer::FrameHandle : Runtime::SharedJob {
+  explicit FrameHandle(DncSynthesizer* o) : owner(o) {}
+
+  bool serve() override {
+    std::shared_lock lock(mutex);
+    return owner != nullptr && owner->serve_frame(/*is_caller=*/false);
+  }
+
+  void detach() {
+    std::unique_lock lock(mutex);
+    owner = nullptr;
+  }
+
+  std::shared_mutex mutex;
+  DncSynthesizer* owner;
+};
+
 DncSynthesizer::DncSynthesizer(SynthesisConfig synthesis, DncConfig dnc)
+    : DncSynthesizer(synthesis, dnc, Runtime::global()) {}
+
+DncSynthesizer::DncSynthesizer(SynthesisConfig synthesis, DncConfig dnc,
+                               Runtime& runtime)
     : synthesis_(synthesis),
       dnc_(dnc),
-      final_(synthesis.texture_width, synthesis.texture_height),
-      start_barrier_(dnc.processors + 1),
-      end_barrier_(dnc.processors + 1) {
+      runtime_(&runtime),
+      final_(synthesis.texture_width, synthesis.texture_height) {
   DCSN_CHECK(dnc_.pipes >= 1, "need at least one graphics pipe");
   DCSN_CHECK(dnc_.processors >= dnc_.pipes,
              "each pipe needs at least one processor (its master)");
@@ -51,7 +80,10 @@ DncSynthesizer::DncSynthesizer(SynthesisConfig synthesis, DncConfig dnc)
     pc.raster_cost_multiplier = dnc_.raster_cost_multiplier;
     pc.queue_capacity = dnc_.pipe_queue_capacity;
     pc.raster_algorithm = dnc_.raster_algorithm;
-    group.pipe = std::make_unique<render::GraphicsPipe>(pc, bus_, g);
+    // Borrowed, not owned: an idle pipe with a matching behavioral config
+    // is reshaped (resize_target) instead of constructing a fresh server
+    // thread; the lease hands it back when this session ends.
+    group.pipe = runtime_->acquire_pipe(pc, bus_, g);
     group.work = std::make_unique<util::StealableWorkCounter>(0, dnc_.chunk_spots);
     // Initial pipe state: the spot profile texture and additive blending.
     // Set once; per-spot state changes are exactly what the design avoids.
@@ -66,30 +98,18 @@ DncSynthesizer::DncSynthesizer(SynthesisConfig synthesis, DncConfig dnc)
     group.pipe->finish();
   }
 
-  // Processors are partitioned evenly over the pipes (paper §4): worker w
-  // belongs to group w % pipes, and the first worker of each group is its
-  // master.
-  worker_genP_.resize(static_cast<std::size_t>(dnc_.processors), 0.0);
-  worker_steal_seconds_.resize(static_cast<std::size_t>(dnc_.processors), 0.0);
-  worker_stolen_chunks_.resize(static_cast<std::size_t>(dnc_.processors), 0);
-  worker_stolen_spots_.resize(static_cast<std::size_t>(dnc_.processors), 0);
-  for (int w = 0; w < dnc_.processors; ++w) {
-    const int g = w % dnc_.pipes;
-    const bool is_master = w < dnc_.pipes;
-    if (!is_master) ++groups_[static_cast<std::size_t>(g)]->slave_count;
-  }
-  workers_.reserve(static_cast<std::size_t>(dnc_.processors));
-  for (int w = 0; w < dnc_.processors; ++w) {
-    const int g = w % dnc_.pipes;
-    const bool is_master = w < dnc_.pipes;
-    workers_.emplace_back(
-        [this, w, g, is_master] { worker_loop(w, g, is_master); });
-  }
+  // The shared pool must be able to field this session's processor budget
+  // even if this is the largest session the process has seen.
+  runtime_->ensure_workers(dnc_.processors);
+  frame_handle_ = std::make_shared<FrameHandle>(this);
 }
 
 DncSynthesizer::~DncSynthesizer() {
-  stop_ = true;
-  start_barrier_.arrive_and_wait();  // release workers into the stop check
+  // After detach, no pool worker can re-enter this object even if it still
+  // holds the handle from an old registry snapshot; the unique lock inside
+  // waits out any serve() in flight. Pipes return to the runtime pool via
+  // their leases.
+  frame_handle_->detach();
 }
 
 render::PipeStats DncSynthesizer::pipe_stats(int pipe) const {
@@ -160,6 +180,7 @@ FrameStats DncSynthesizer::synthesize(const field::VectorField& f,
              "an incremental plan requires tiled mode (per-tile retention)");
   DCSN_CHECK(plan == nullptr || plan->tile_dirty.size() == tiles_.size(),
              "incremental plan must flag exactly one entry per tile");
+  check_canceled();  // a pre-start cancel abandons the frame before any work
 
   job_field_ = &f;
   job_spots_ = spots;
@@ -188,7 +209,7 @@ FrameStats DncSynthesizer::synthesize(const field::VectorField& f,
         stats.spots_submitted += n;
       } else {
         // Clean tile: identical spot set as last frame, nothing to do. The
-        // group's members still participate as thieves for dirty groups.
+        // group's participants still act as thieves for dirty groups.
         group.total_items = 0;
         group.work->reset(0);
         stats.tiles_reused += 1;
@@ -224,20 +245,54 @@ FrameStats DncSynthesizer::synthesize(const field::VectorField& f,
                               static_cast<double>(assigned_total)
                         : 1.0;
 
-  for (auto& group : groups_) group->pipe->reset_stats();
+  for (auto& group : groups_) {
+    group->pipe->reset_stats();
+    group->master_running.store(false, std::memory_order_relaxed);
+    group->master_exited.store(false, std::memory_order_relaxed);
+    group->inflight.store(0, std::memory_order_relaxed);
+  }
   bus_->reset_stats();
+  next_master_.store(0, std::memory_order_relaxed);
+  masters_done_.store(0, std::memory_order_relaxed);
+  {
+    std::lock_guard lock(job_mutex_);
+    slots_.assign(static_cast<std::size_t>(dnc_.processors), Slot{});
+    slot_taken_.assign(static_cast<std::size_t>(dnc_.processors), 0);
+    slot_taken_[0] = 1;        // the caller's reserved seat
+    active_participants_ = 1;
+    frame_open_ = true;
+    // Start gate (the elastic replacement for the old start barrier): when
+    // the frame has enough work to share, early participants line up until
+    // a quorum joins or the deadline passes. Without it, on a loaded host a
+    // small frame is over before a newly woken pool worker gets its first
+    // timeslice — whichever participant runs first silently serializes the
+    // whole frame, so masters never coexist and stealing never happens. The
+    // deadline keeps the old barrier's failure mode out: a pool absorbed by
+    // other sessions costs at most the gate window, never a stall.
+    gate_expected_ = assigned_total >= dnc_.chunk_spots
+                         ? std::min(dnc_.processors, 1 + runtime_->worker_count())
+                         : 1;
+    gate_open_ = gate_expected_ <= 1;
+    gate_deadline_ = std::chrono::steady_clock::now() + 1500us;
+  }
 
-  // --- parallel phase: all process groups generate and render ---
-  start_barrier_.arrive_and_wait();
-  end_barrier_.arrive_and_wait();
+  // --- parallel phase: register the frame with the runtime and serve it.
+  // The caller always participates; pool workers join up to the processor
+  // budget (and serve other sessions' frames when this one is saturated).
+  runtime_->register_job(frame_handle_);
+  serve_frame(/*is_caller=*/true);
+  runtime_->deregister_job(frame_handle_.get());
 
   if (frame_failed_.load(std::memory_order_acquire)) {
     // Abandon the frame: discard whatever buffers were in flight, rearm the
     // inboxes for the next frame and hand the first failure to the caller.
+    // No participant is active anymore (the caller waited them out), so
+    // this cleanup runs single-threaded.
     for (auto& group : groups_) {
       while (group->inbox.try_pop()) {
       }
       group->inbox.reopen();
+      group->inflight.store(0, std::memory_order_relaxed);
     }
     std::exception_ptr error;
     {
@@ -250,7 +305,11 @@ FrameStats DncSynthesizer::synthesize(const field::VectorField& f,
   }
 
   // --- sequential gather: the overhead term c of eq. 3.2 ---
+  // Readback textures come from the runtime's framebuffer pool: zeroed on
+  // checkout, fully overwritten by read_back_into, returned right after —
+  // allocation-free in steady state.
   const util::Stopwatch gather_watch;
+  render::FramebufferPool& buffers = runtime_->framebuffers();
   if (dnc_.tiled) {
     // The retention compose, streamed: only active pipes cross the bus and
     // are copied into place, one at a time (no staging of all partials);
@@ -261,17 +320,22 @@ FrameStats DncSynthesizer::synthesize(const field::VectorField& f,
       Group& group = *groups_[static_cast<std::size_t>(g)];
       if (!group.active) continue;
       const Tile& tile = tiles_[static_cast<std::size_t>(g)];
-      const render::Framebuffer part = group.pipe->read_back();
+      render::Framebuffer part = buffers.acquire(tile.width, tile.height);
+      group.pipe->read_back_into(part);
       final_.copy_rect_from(part, tile.x0, tile.y0);
       stats.readback_bytes += part.byte_size();
+      buffers.release(std::move(part));
     }
   } else {
     final_.clear();
+    render::Framebuffer part =
+        buffers.acquire(final_.width(), final_.height());
     for (auto& group : groups_) {
-      const render::Framebuffer part = group->pipe->read_back();
+      group->pipe->read_back_into(part);
       final_.accumulate(part);
       stats.readback_bytes += part.byte_size();
     }
+    buffers.release(std::move(part));
   }
   stats.gather_seconds = gather_watch.seconds();
 
@@ -283,13 +347,18 @@ FrameStats DncSynthesizer::synthesize(const field::VectorField& f,
                std::abs(static_cast<double>(px_hi)));
 
   // --- bookkeeping ---
-  for (const double s : worker_genP_) {
-    stats.genP_seconds += s;
-    stats.genP_critical_seconds = std::max(stats.genP_critical_seconds, s);
+  // slots_ is quiescent: the caller observed itself as the last active
+  // participant before closing the frame.
+  for (const Slot& slot : slots_) {
+    stats.genP_seconds += slot.genP_seconds;
+    stats.genP_critical_seconds =
+        std::max(stats.genP_critical_seconds, slot.genP_seconds);
+    stats.steal_seconds += slot.steal_seconds;
+    stats.stolen_chunks += slot.stolen_chunks;
+    stats.stolen_spots += slot.stolen_spots;
+    stats.cross_session_chunks += slot.cross_session_chunks;
+    stats.cross_session_spots += slot.cross_session_spots;
   }
-  for (const double s : worker_steal_seconds_) stats.steal_seconds += s;
-  for (const std::int64_t n : worker_stolen_chunks_) stats.stolen_chunks += n;
-  for (const std::int64_t n : worker_stolen_spots_) stats.stolen_spots += n;
   for (auto& group : groups_) {
     const render::PipeStats ps = group->pipe->stats();
     stats.genT_seconds += ps.busy_seconds;
@@ -310,32 +379,310 @@ FrameStats DncSynthesizer::synthesize(const field::VectorField& f,
   return stats;
 }
 
-void DncSynthesizer::worker_loop(int worker_id, int group_id, bool is_master) {
-  util::set_current_thread_name((is_master ? "dcsn-m" : "dcsn-s") +
-                                std::to_string(worker_id));
-  Group& group = *groups_[static_cast<std::size_t>(group_id)];
-  while (true) {
-    start_barrier_.arrive_and_wait();
-    if (stop_) return;
-    const auto w = static_cast<std::size_t>(worker_id);
-    worker_genP_[w] = 0.0;
-    worker_steal_seconds_[w] = 0.0;
-    worker_stolen_chunks_[w] = 0;
-    worker_stolen_spots_[w] = 0;
-    try {
-      if (is_master) {
-        run_master(group, group_id, worker_id);
-      } else {
-        run_slave(group, group_id, worker_id);
+bool DncSynthesizer::serve_frame(bool is_caller) {
+  Slot* slot = nullptr;
+  int ordinal = 0;
+  {
+    std::lock_guard lock(job_mutex_);
+    if (!frame_open_) return false;
+    if (is_caller) {
+      ordinal = 0;  // reserved at frame open
+    } else {
+      ordinal = -1;
+      for (int k = 1; k < dnc_.processors; ++k) {
+        if (!slot_taken_[static_cast<std::size_t>(k)]) {
+          ordinal = k;
+          break;
+        }
       }
+      if (ordinal < 0) return false;  // the processor budget is occupied
+      slot_taken_[static_cast<std::size_t>(ordinal)] = 1;
+      ++active_participants_;
+    }
+    slot = &slots_[static_cast<std::size_t>(ordinal)];
+  }
+  {
+    // Line up at the start gate: quorum or deadline opens it for everyone.
+    std::unique_lock lock(job_mutex_);
+    if (!gate_open_) {
+      if (active_participants_ >= gate_expected_) {
+        gate_open_ = true;
+        job_cv_.notify_all();
+      } else {
+        job_cv_.wait_until(lock, gate_deadline_, [&] { return gate_open_; });
+        if (!gate_open_) {
+          gate_open_ = true;  // deadline: open for every later participant
+          job_cv_.notify_all();
+        }
+      }
+    }
+  }
+  const bool worked = participant_loop(*slot, ordinal, is_caller);
+  if (is_caller) {
+    // participant_loop only returns to the caller at completion, where it
+    // already closed the frame under job_mutex_.
+    return worked;
+  }
+  {
+    std::lock_guard lock(job_mutex_);
+    slot_taken_[static_cast<std::size_t>(ordinal)] = 0;
+    --active_participants_;
+  }
+  job_cv_.notify_all();
+  return worked;
+}
+
+bool DncSynthesizer::participant_loop(Slot& slot, int ordinal, bool is_caller) {
+  const int pipe_count = dnc_.pipes;
+  bool worked = false;
+  for (;;) {
+    // Unclaimed master roles come first: a group's counter only becomes
+    // claimable once its master runs, so starting masters is what unlocks
+    // parallelism for everyone else.
+    int m = next_master_.load(std::memory_order_relaxed);
+    bool claimed = false;
+    while (m < pipe_count && !claimed) {
+      claimed = next_master_.compare_exchange_weak(m, m + 1,
+                                                   std::memory_order_acq_rel);
+    }
+    if (claimed) {
+      worked = true;
+      try {
+        run_master(*groups_[static_cast<std::size_t>(m)], slot, is_caller);
+      } catch (...) {
+        // A master must never leave the frame protocol by exception: record
+        // it, unblock everyone, and still retire the role so the caller's
+        // completion count reaches pipe_count.
+        fail_frame(std::current_exception());
+      }
+      masters_done_.fetch_add(1, std::memory_order_acq_rel);
+      job_cv_.notify_all();
+      continue;
+    }
+    bool produced = false;
+    try {
+      produced = producer_once(slot, ordinal, is_caller);
     } catch (...) {
-      // A worker must never leave the frame protocol by exception: record
-      // it, unblock everyone, and still arrive at the end barrier so
-      // synthesize() can rethrow on the caller thread.
       fail_frame(std::current_exception());
     }
-    end_barrier_.arrive_and_wait();
+    if (produced) {
+      worked = true;
+      continue;
+    }
+    if (!is_caller) return worked;  // pool worker: hand capacity elsewhere
+    // The caller stays to the end: masters may still be running on pool
+    // workers, late masters may still need claiming after a failure, and a
+    // straggler participant may still be mid-chunk. The timed wait bounds
+    // the recheck latency; completion transitions signal job_cv_.
+    std::unique_lock lock(job_mutex_);
+    if (masters_done_.load(std::memory_order_acquire) == pipe_count &&
+        active_participants_ == 1) {
+      // Close under the same lock that observed quiescence so no straggler
+      // can join (and touch slots_) after the caller walks away.
+      frame_open_ = false;
+      return worked;
+    }
+    job_cv_.wait_for(lock, 1ms);
   }
+}
+
+void DncSynthesizer::run_master(Group& group, Slot& slot, bool is_caller) {
+  group.master_running.store(true, std::memory_order_release);
+  runtime_->notify_workers();  // this group's counter just became claimable
+  // A clean-tile group renders nothing this frame; clearing would destroy
+  // nothing (the retained pixels live in final_, not in the pipe target)
+  // but would cost raster time and skew genT accounting.
+  if (group.active) group.pipe->clear();
+
+  auto submit = [&](Message& msg) {
+    group.pipe->submit(std::move(msg.buffer));
+    group.inflight.fetch_sub(1, std::memory_order_seq_cst);
+  };
+
+  for (;;) {
+    if (frame_failed_.load(std::memory_order_relaxed)) return;
+    check_canceled();
+    // Forwarding buffers has priority: a starved pipe is worse than a
+    // delayed chunk of master-side generation.
+    if (auto msg = group.inbox.try_pop()) {
+      submit(*msg);
+      continue;
+    }
+    if (const auto range = group.work->claim(); !range.empty()) {
+      group.pipe->submit(generate_chunk(group, range, slot, is_caller));
+      continue;
+    }
+    if (dnc_.steal && master_steal_once(group, slot, is_caller)) continue;
+    // Exit condition, item-counted: own counter drained and no registered
+    // delivery is still on its way to this pipe. Two guarantees close the
+    // races. (1) Same-counter claims: the seq_cst fence pairs with the
+    // producers' increment-fence-claim sequence — if a producer's
+    // successful claim is visible here (the counter reads drained), its
+    // inflight increment is visible too. (2) Cross-counter deliveries
+    // (contiguous mode routes stolen chunks to the thief's affinity pipe):
+    // the exited flag is stored *before* re-reading inflight, while the
+    // producer increments inflight *before* reading the flag — one side
+    // must see the other, so the master either stays for the registrant or
+    // the registrant reroutes. A phantom (an increment whose claim comes
+    // back empty) only delays exit by one timed wait, never loses work.
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (group.work->drained() &&
+        group.inflight.load(std::memory_order_seq_cst) == 0) {
+      group.master_exited.store(true, std::memory_order_seq_cst);
+      if (group.inflight.load(std::memory_order_seq_cst) == 0) break;
+      group.master_exited.store(false, std::memory_order_seq_cst);
+      continue;  // a delivery registered in the window; stay for it
+    }
+    if (auto msg = group.inbox.pop_for(500us)) submit(*msg);
+    // On timeout (or closed inbox) just rescan: the loop head re-checks
+    // failure, new work and the exit condition.
+  }
+  group.pipe->finish();
+}
+
+DncSynthesizer::Group* DncSynthesizer::pick_victim(const Group* self,
+                                                   bool for_master) {
+  Group* best = nullptr;
+  std::int64_t best_remaining = 0;
+  for (auto& candidate : groups_) {
+    if (candidate.get() == self) continue;
+    if (!candidate->master_running.load(std::memory_order_acquire)) {
+      // Producers deliver with a blocking push, so they need a live
+      // consumer. Masters may raid a group whose master has not started:
+      // in contiguous mode the loot renders on the thief's own pipe, and
+      // in tiled mode it is buffered in the victim's inbox — but only
+      // while there is headroom for every potential master-held message,
+      // so the non-blocking delivery below can never wedge on an inbox
+      // nobody drains yet.
+      if (!for_master) continue;
+      if (dnc_.tiled &&
+          candidate->inbox.size() + static_cast<std::size_t>(dnc_.pipes) >=
+              candidate->inbox.capacity()) {
+        continue;
+      }
+    }
+    const std::int64_t r = candidate->work->remaining();
+    if (r > best_remaining) {
+      best_remaining = r;
+      best = candidate.get();
+    }
+  }
+  return best;
+}
+
+bool DncSynthesizer::master_steal_once(Group& me, Slot& slot, bool is_caller) {
+  Group* victim = pick_victim(&me, /*for_master=*/true);
+  if (victim == nullptr) return false;
+  // Register against the victim before the claim (the same-counter Dekker
+  // pattern the exit condition relies on); if the loot ends up on this
+  // master's own pipe the registration is retired right after the submit.
+  victim->inflight.fetch_add(1, std::memory_order_seq_cst);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  const auto range = victim->work->steal(dnc_.chunk_spots);
+  if (range.empty()) {
+    victim->inflight.fetch_sub(1, std::memory_order_seq_cst);
+    return true;  // raced with the owner; rescan
+  }
+  const util::ThreadCpuStopwatch watch;
+  Message msg{generate_chunk(*victim, range, slot, is_caller), range.size()};
+  slot.steal_seconds += watch.seconds();
+  slot.stolen_chunks += 1;
+  slot.stolen_spots += range.size();
+  if (!dnc_.tiled &&
+      (!victim->master_running.load(std::memory_order_acquire) ||
+       me.pipe->stats().bytes_received <=
+           victim->pipe->stats().bytes_received)) {
+    // Contiguous: every pipe renders the full texture and the gather
+    // blends by addition, so the loot may go through the thief's own pipe
+    // — but only when that pipe is the less loaded of the two (submitted
+    // geometry bytes count queued work): unconditional re-routing would
+    // *create* raster imbalance on the tail of an already balanced frame.
+    // A not-yet-running victim always renders on the thief (nobody drains
+    // its inbox yet).
+    me.pipe->submit(std::move(msg.buffer));
+    victim->inflight.fetch_sub(1, std::memory_order_seq_cst);
+    return true;
+  }
+  // Tiled (always), or a contiguous victim whose pipe is the lighter one:
+  // the buffer is routed back through the owner's inbox. A master must
+  // never block on a foreign inbox — two masters blocked on each other's
+  // full inbox would deadlock — so alternate try_push with draining its
+  // own. Termination: a running victim drains its inbox until its
+  // in-flight count (which includes this message) is zero, and a
+  // not-yet-started tiled victim had `pipes` slots of headroom at
+  // selection, at most one undelivered message per master-thief.
+  while (!victim->inbox.try_push_or_keep(msg)) {
+    if (frame_failed_.load(std::memory_order_relaxed)) return true;
+    if (auto own = me.inbox.try_pop()) {
+      me.pipe->submit(std::move(own->buffer));
+      me.inflight.fetch_sub(1, std::memory_order_seq_cst);
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  return true;
+}
+
+bool DncSynthesizer::producer_once(Slot& slot, int ordinal, bool is_caller) {
+  if (frame_failed_.load(std::memory_order_relaxed)) return false;
+  check_canceled();
+  // Affinity first (the front of the counter, like the old in-group
+  // slaves); with stealing enabled, the most loaded running group after.
+  Group& own = *groups_[static_cast<std::size_t>(ordinal % dnc_.pipes)];
+  if (own.master_running.load(std::memory_order_acquire)) {
+    own.inflight.fetch_add(1, std::memory_order_seq_cst);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const auto range = own.work->claim();
+    if (!range.empty()) {
+      Message msg{generate_chunk(own, range, slot, is_caller), range.size()};
+      (void)own.inbox.push(std::move(msg));  // false = closed = frame failed
+      return true;
+    }
+    own.inflight.fetch_sub(1, std::memory_order_seq_cst);
+  }
+  if (!dnc_.steal) return false;
+  Group* victim = pick_victim(&own, /*for_master=*/false);
+  if (victim == nullptr) return false;
+  // Delivery target. Tiled mode has no choice: only the owning group's
+  // pipe renders the stolen region. Contiguous mode routes the loot to the
+  // thief's *affinity* pipe when that pipe carries less submitted geometry
+  // (addition commutes across pipes, so sending work to the lighter pipe
+  // balances rasterization the way stealing balances generation — while
+  // the load comparison keeps tail-end steals from unbalancing an already
+  // even frame). Cross-counter routing needs the two-phase handshake
+  // against the destination master's exit (see run_master); when the
+  // destination is unavailable the owner's inbox is always valid.
+  Group* dest = victim;
+  if (!dnc_.tiled && &own != victim &&
+      own.master_running.load(std::memory_order_acquire) &&
+      own.pipe->stats().bytes_received <
+          victim->pipe->stats().bytes_received) {
+    own.inflight.fetch_add(1, std::memory_order_seq_cst);
+    if (own.master_exited.load(std::memory_order_seq_cst)) {
+      own.inflight.fetch_sub(1, std::memory_order_seq_cst);
+    } else {
+      dest = &own;
+    }
+  }
+  if (dest == victim) {
+    victim->inflight.fetch_add(1, std::memory_order_seq_cst);
+  }
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  const auto range = victim->work->steal(dnc_.chunk_spots);
+  if (range.empty()) {
+    dest->inflight.fetch_sub(1, std::memory_order_seq_cst);
+    return true;  // raced; rescan
+  }
+  const util::ThreadCpuStopwatch watch;
+  Message msg{generate_chunk(*victim, range, slot, is_caller), range.size()};
+  slot.steal_seconds += watch.seconds();
+  slot.stolen_chunks += 1;
+  slot.stolen_spots += range.size();
+  // Producers may block here: the destination's master is running, has the
+  // delivery registered in its in-flight count, and drains its inbox until
+  // that count reaches zero. close() wakes us on frame failure.
+  (void)dest->inbox.push(std::move(msg));
+  return true;
 }
 
 void DncSynthesizer::fail_frame(std::exception_ptr error) {
@@ -344,13 +691,17 @@ void DncSynthesizer::fail_frame(std::exception_ptr error) {
     if (!frame_error_) frame_error_ = error;
   }
   frame_failed_.store(true, std::memory_order_release);
-  // Closing wakes blocked pops (masters) and makes blocked pushes (slaves,
-  // thieves) fail instead of waiting on a consumer that already bailed.
+  // Closing wakes blocked pops (masters) and makes blocked pushes
+  // (producers, thieves) fail instead of waiting on a consumer that
+  // already bailed.
   for (auto& group : groups_) group->inbox.close();
+  job_cv_.notify_all();
 }
 
 render::CommandBuffer DncSynthesizer::generate_chunk(
-    const Group& group, util::StealableWorkCounter::Range range, int worker_id) {
+    const Group& group, util::StealableWorkCounter::Range range, Slot& slot,
+    bool is_caller) {
+  check_canceled();
   const util::ThreadCpuStopwatch watch;
   render::CommandBuffer buffer;
   buffer.reserve(static_cast<std::size_t>(range.size()),
@@ -359,141 +710,14 @@ render::CommandBuffer DncSynthesizer::generate_chunk(
     const std::int64_t k = global_index(group, local);
     job_generator_->generate(job_spots_[static_cast<std::size_t>(k)], buffer);
   }
-  worker_genP_[static_cast<std::size_t>(worker_id)] += watch.seconds();
+  slot.genP_seconds += watch.seconds();
+  if (!is_caller && runtime_->active_job_count() > 1) {
+    // A pool worker generated this chunk while another session's frame was
+    // registered: capacity multiplexed across sessions.
+    slot.cross_session_chunks += 1;
+    slot.cross_session_spots += range.size();
+  }
   return buffer;
-}
-
-DncSynthesizer::Group* DncSynthesizer::pick_victim(int group_id) {
-  Group* best = nullptr;
-  std::int64_t best_remaining = 0;
-  for (int g = 0; g < dnc_.pipes; ++g) {
-    if (g == group_id) continue;
-    const std::int64_t r = groups_[static_cast<std::size_t>(g)]->work->remaining();
-    if (r > best_remaining) {
-      best_remaining = r;
-      best = groups_[static_cast<std::size_t>(g)].get();
-    }
-  }
-  return best;
-}
-
-bool DncSynthesizer::steal_chunk(Group& victim, int worker_id, Message& out) {
-  const auto range = victim.work->steal(dnc_.chunk_spots);
-  if (range.empty()) return false;  // raced with the owner
-  const util::ThreadCpuStopwatch watch;
-  out.buffer = generate_chunk(victim, range, worker_id);
-  out.items = range.size();
-  out.done = false;
-  const auto w = static_cast<std::size_t>(worker_id);
-  worker_steal_seconds_[w] += watch.seconds();
-  worker_stolen_chunks_[w] += 1;
-  worker_stolen_spots_[w] += range.size();
-  return true;
-}
-
-bool DncSynthesizer::master_steal_once(Group& group, int group_id, int worker_id,
-                                       std::int64_t& items_done) {
-  Group* victim = pick_victim(group_id);
-  if (victim == nullptr) return false;
-  Message msg;
-  if (!steal_chunk(*victim, worker_id, msg)) return true;  // caller rescans
-  if (!dnc_.tiled) {
-    // Contiguous: every pipe renders the full texture and the gather blends
-    // by addition, so stolen geometry goes through the thief's own pipe.
-    group.pipe->submit(std::move(msg.buffer));
-    return true;
-  }
-  // Tiled: only the owning group's pipe renders the stolen region, so the
-  // buffer is routed back through the owner's inbox. A master must never
-  // block on a foreign inbox — two masters blocked on each other's full
-  // inbox would deadlock — so alternate try_push with draining its own.
-  while (!victim->inbox.try_push_or_keep(msg)) {
-    if (frame_failed_.load(std::memory_order_relaxed)) return true;
-    if (auto own = group.inbox.try_pop()) {
-      items_done += own->items;
-      group.pipe->submit(std::move(own->buffer));
-    } else {
-      std::this_thread::yield();
-    }
-  }
-  return true;
-}
-
-void DncSynthesizer::run_master(Group& group, int group_id, int worker_id) {
-  // A clean-tile group renders nothing this frame; clearing would destroy
-  // nothing (the retained pixels live in final_, not in the pipe target)
-  // but would cost raster time and skew genT accounting.
-  if (group.active) group.pipe->clear();
-  int done_slaves = 0;
-  std::int64_t items_done = 0;
-
-  auto handle = [&](Message& msg) {
-    if (msg.done) {
-      ++done_slaves;
-    } else {
-      items_done += msg.items;
-      group.pipe->submit(std::move(msg.buffer));
-    }
-  };
-
-  while (true) {
-    if (frame_failed_.load(std::memory_order_relaxed)) return;
-    // Forwarding buffers has priority: a starved pipe is worse than a
-    // delayed chunk of master-side generation.
-    if (auto msg = group.inbox.try_pop()) {
-      handle(*msg);
-      continue;
-    }
-    if (const auto range = group.work->claim(); !range.empty()) {
-      items_done += range.size();
-      group.pipe->submit(generate_chunk(group, range, worker_id));
-      continue;
-    }
-    if (dnc_.steal && master_steal_once(group, group_id, worker_id, items_done)) {
-      continue;
-    }
-    // Out of immediate work. Contiguous termination: every slave has sent
-    // its done marker (slaves only do so once no counter anywhere has work
-    // left). Tiled termination: every spot assigned to this group has been
-    // submitted to the pipe, whether generated here, by a slave, or by a
-    // foreign thief.
-    const bool waiting = dnc_.tiled ? items_done < group.total_items
-                                    : done_slaves < group.slave_count;
-    if (!waiting) break;
-    if (auto msg = group.inbox.pop()) {
-      handle(*msg);
-      continue;
-    }
-    return;  // inbox closed: the frame failed under us
-  }
-  group.pipe->finish();
-}
-
-void DncSynthesizer::run_slave(Group& group, int group_id, int worker_id) {
-  while (!frame_failed_.load(std::memory_order_relaxed)) {
-    const auto range = group.work->claim();
-    if (range.empty()) break;
-    Message msg{generate_chunk(group, range, worker_id), range.size(), false};
-    if (!group.inbox.push(std::move(msg))) return;  // closed: frame failed
-  }
-  if (dnc_.steal) {
-    while (!frame_failed_.load(std::memory_order_relaxed)) {
-      Group* victim = pick_victim(group_id);
-      if (victim == nullptr) break;
-      Message msg;
-      if (!steal_chunk(*victim, worker_id, msg)) continue;  // raced; rescan
-      // Contiguous: hand stolen geometry to this slave's own master (any
-      // pipe may render it). Tiled: route it to the owning group's master.
-      Group& dest = dnc_.tiled ? *victim : group;
-      if (!dest.inbox.push(std::move(msg))) return;
-    }
-  }
-  if (!dnc_.tiled) {
-    // The done marker exists only in contiguous mode; tiled masters count
-    // delivered spots instead, and a marker pushed after such a master
-    // finished would leak into the next frame.
-    (void)group.inbox.push({{}, 0, true});
-  }
 }
 
 }  // namespace dcsn::core

@@ -1,14 +1,13 @@
 // The divide-and-conquer spot noise engine — the paper's contribution.
 //
 // The spot collection is partitioned into disjoint sets, one per process
-// group. A process group is one master plus zero or more slaves mapped onto
-// the available processors, driving exactly one graphics pipe (paper §4):
+// group. A process group drives exactly one graphics pipe (paper §4):
 //
-//   * the master owns the pipe's context: it is the only thread that
-//     submits commands, and it performs spot-shape calculation itself
-//     whenever it would otherwise idle (or has no slaves at all);
-//   * slaves claim chunks of the group's spot set, transform them into
-//     command buffers and hand the buffers to their master;
+//   * the group's master owns the pipe's context: it is the only thread
+//     that submits commands, and it performs spot-shape calculation itself
+//     whenever it would otherwise idle;
+//   * producers claim chunks of a group's spot set, transform them into
+//     command buffers and hand the buffers to that group's master;
 //   * each pipe renders its group's spots into a partial texture; after all
 //     groups complete, partial textures are gathered across the bus and
 //     blended sequentially — the overhead term c of eq. 3.2.
@@ -18,43 +17,67 @@
 // location in a preprocessing step, spots near boundaries are duplicated
 // into every region they may touch, and the final compose is a cheap copy.
 //
-// Scheduling is load-balanced (see docs/ARCHITECTURE.md, "Scheduling & load
-// balancing"): every group's spot set sits behind a StealableWorkCounter,
-// and once a worker's own group drains it steals chunk ranges from the most
-// loaded group. In contiguous mode stolen geometry is submitted through the
-// thief's own master/pipe (every pipe renders the full texture, addition
-// commutes); in tiled mode it is routed back to the owning group's inbox,
-// because only that group's pipe renders the owning region. Tiled mode can
-// additionally derive its regions from the frame's spot distribution
-// (TileStrategy::kCostBalanced), splitting the texture into regions of
-// approximately equal work instead of a fixed grid.
+// Ownership (changed by the shared-runtime refactor, see core/runtime.hpp):
+// a synthesizer no longer owns worker threads, pipes or readback buffers —
+// it *borrows* them from a core::Runtime (the process-global one by
+// default). Each synthesize() call registers a frame job with the runtime;
+// the calling thread always participates, and runtime pool workers join up
+// to the session's processor budget. Participants claim the group-master
+// roles first and produce spot geometry after. Because pool workers are
+// fungible across every registered job, an idle session's capacity flows to
+// a loaded one — cross-session work stealing over the same
+// util::StealableWorkCounter that balances groups within a frame. The
+// PR 4 determinism lattice guarantees this cannot show in the pixels:
+// rasterization is target-independent and accumulation is lattice-exact, so
+// the texture is bitwise identical no matter which worker (of which
+// session) generated or rasterized a chunk.
+//
+// Frame termination is item-counted, not barrier-counted: every chunk a
+// producer claims from group g's counter is registered in-flight against g
+// before the claim and retired when g's master submits it, so a master
+// exits exactly when its counter is drained and its in-flight count is
+// zero — independent of how many participants exist or when they come and
+// go. (The old design needed one dedicated thread per processor and two
+// barriers per frame; a shared pool cannot promise either.)
 //
 // Process groups persist across frames; synthesize() is called once per
 // animation frame with that frame's field and spot set, which is what makes
-// the algorithm usable for the paper's interactive steering and browsing
-// applications.
+// the algorithm usable for the paper's interactive steering, browsing and
+// multi-session service applications.
 #pragma once
 
 #include <atomic>
-#include <barrier>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
 #include <exception>
 #include <memory>
 #include <mutex>
-#include <thread>
 #include <vector>
 
 #include "core/frame_delta.hpp"
+#include "core/runtime.hpp"
 #include "core/spot_geometry.hpp"
 #include "core/spot_params.hpp"
 #include "core/tiling.hpp"
 #include "render/bus.hpp"
 #include "render/compose.hpp"
 #include "render/pipe.hpp"
+#include "util/error.hpp"
 #include "util/queue.hpp"
 #include "util/stopwatch.hpp"
 #include "util/threading.hpp"
 
 namespace dcsn::core {
+
+/// Thrown out of synthesize() when the frame was abandoned because the
+/// job's cancellation token fired (see bind_cancel_token and
+/// core::SynthesisService). The engine stays usable afterwards, exactly as
+/// with any other frame failure.
+class JobCanceled : public util::Error {
+ public:
+  JobCanceled() : util::Error("synthesis job canceled") {}
+};
 
 /// How tiled mode carves the texture into per-pipe regions.
 enum class TileStrategy {
@@ -63,8 +86,12 @@ enum class TileStrategy {
 };
 
 struct DncConfig {
-  int processors = 4;  ///< total worker threads (masters included), the nP of eq. 3.2
-  int pipes = 1;       ///< graphics pipes / process groups, the nG of eq. 3.2
+  /// Worker budget for one frame: at most this many participants (the
+  /// calling thread plus runtime pool workers) serve the frame — the nP of
+  /// eq. 3.2. The session's runtime grows its shared pool to at least this
+  /// size.
+  int processors = 4;
+  int pipes = 1;  ///< graphics pipes / process groups, the nG of eq. 3.2
   /// Spots per command buffer: the streaming granularity from processors to
   /// pipes. Small enough to overlap generation with rendering, large enough
   /// to amortize queue traffic.
@@ -85,9 +112,10 @@ struct DncConfig {
   bool tiled = false;
   /// Region layout in tiled mode (ignored otherwise).
   TileStrategy tile_strategy = TileStrategy::kGrid;
-  /// Cross-group work stealing: idle workers pull chunk ranges from the most
-  /// loaded group once their own group's counter drains. Off reproduces the
-  /// static partition (the bench_ablation_balance baseline).
+  /// Cross-group work stealing: idle participants pull chunk ranges from
+  /// the most loaded group once their own group's counter drains. Off
+  /// reproduces the static partition (the bench_ablation_balance baseline);
+  /// off also pins each producer to its affinity group.
   bool steal = true;
 };
 
@@ -134,6 +162,18 @@ struct FrameStats {
   /// by the per-group mean (1.0 = perfectly even). Measured before stealing.
   double imbalance = 1.0;
 
+  // Multi-session runtime accounting.
+  /// Seconds the job waited in a SynthesisService queue before a driver
+  /// picked it up (0 for frames synthesized directly). Not part of
+  /// modeled_frame_seconds: queue wait is contention, not work.
+  double queue_wait_seconds = 0.0;
+  /// Chunks of this frame generated by runtime pool workers while at least
+  /// one other session's frame was registered with the runtime — shared
+  /// capacity applied under cross-session contention. Zero whenever a
+  /// session runs alone.
+  std::int64_t cross_session_chunks = 0;
+  std::int64_t cross_session_spots = 0;  ///< spots inside those chunks
+
   // Eq. 3.2 critical path, from per-thread CPU clocks. genP/genT attribution
   // uses CPU time (ThreadCpuStopwatch), so these stay meaningful when the
   // host has fewer cores than workers + pipes — wall-clock frame_seconds on
@@ -158,16 +198,20 @@ struct FrameStats {
 
 class DncSynthesizer {
  public:
+  /// Borrows workers, pipes and buffers from the process-global Runtime.
   DncSynthesizer(SynthesisConfig synthesis, DncConfig dnc);
+  /// Borrows from an explicit Runtime (which must outlive the synthesizer).
+  DncSynthesizer(SynthesisConfig synthesis, DncConfig dnc, Runtime& runtime);
   ~DncSynthesizer();
 
   DncSynthesizer(const DncSynthesizer&) = delete;
   DncSynthesizer& operator=(const DncSynthesizer&) = delete;
 
   /// Synthesizes one texture. `f` and `spots` must stay valid for the call.
-  /// If a worker thread throws (e.g. a DCSN_CHECK inside spot generation),
+  /// If a participant throws (e.g. a DCSN_CHECK inside spot generation),
   /// the frame is abandoned and the first exception is rethrown here; the
-  /// engine stays usable for subsequent frames.
+  /// engine stays usable for subsequent frames. Not re-entrant: one frame
+  /// per session at a time (SynthesisService serializes per session).
   ///
   /// `plan` (tiled mode only, normally produced by core::SynthesisCache)
   /// enables temporal reuse: tiles whose flag is clear are not cleared,
@@ -185,88 +229,152 @@ class DncSynthesizer {
   [[nodiscard]] const DncConfig& dnc_config() const { return dnc_; }
   [[nodiscard]] const std::vector<Tile>& tiles() const { return tiles_; }
   [[nodiscard]] render::PipeStats pipe_stats(int pipe) const;
+  [[nodiscard]] Runtime& runtime() const { return *runtime_; }
 
   /// Bumped at the start of every synthesize() call (failed frames
   /// included). SynthesisCache uses it to detect frames it did not commit.
   [[nodiscard]] std::int64_t frame_serial() const { return frame_serial_; }
 
+  /// Binds a cancellation token checked at chunk granularity during the
+  /// frame: when `token` reads true mid-frame, the frame is abandoned
+  /// through the failure protocol and synthesize() throws JobCanceled.
+  /// Pass nullptr to unbind. Call between frames only (the service binds a
+  /// per-job token before dispatching).
+  void bind_cancel_token(const std::atomic<bool>* token) { cancel_token_ = token; }
+
  private:
   struct Message {
     render::CommandBuffer buffer;
-    std::int64_t items = 0;  ///< spots covered by `buffer` (tiled accounting)
-    bool done = false;       ///< slave finished its share of the frame
+    std::int64_t items = 0;  ///< spots covered by `buffer`
   };
 
   struct Group {
-    std::unique_ptr<render::GraphicsPipe> pipe;
+    PipeLease pipe;
     util::BoundedQueue<Message> inbox{256};
     std::unique_ptr<util::StealableWorkCounter> work;  ///< over the group's local indices
     const std::vector<std::int64_t>* tile_indices = nullptr;  ///< tiled mode
     std::int64_t begin = 0;  ///< contiguous mode: global range [begin, end)
     std::int64_t end = 0;
     std::int64_t total_items = 0;  ///< spots assigned to this group this frame
-    int slave_count = 0;
     /// Cleared for a clean tile of an incremental frame: the group renders
-    /// nothing (its members still steal for dirty groups) and the gather
+    /// nothing (participants still steal for dirty groups) and the gather
     /// retains its texture region.
     bool active = true;
+    /// The master role for this group has started; only then may producers
+    /// claim from its counter (a blocked inbox push needs a live consumer).
+    std::atomic<bool> master_running{false};
+    /// The master role finished its frame. Second half of the two-phase
+    /// exit handshake: a producer that wants to route a *foreign* group's
+    /// chunk to this pipe registers in `inflight` first and checks this
+    /// flag after; the exiting master stores the flag first and rechecks
+    /// `inflight` after — so either the master sees the registration and
+    /// stays, or the producer sees the flag and reroutes. Without it a
+    /// cross-counter delivery could race into an inbox nobody will ever
+    /// drain and its spots would silently vanish from the frame.
+    std::atomic<bool> master_exited{false};
+    /// Messages destined for this group's pipe, registered and not yet
+    /// submitted by this group's master — the item-counted half of the
+    /// master's exit condition. Incremented *before* the claim attempt
+    /// (conservative phantom counts are resolved by the master's timed
+    /// inbox wait), decremented on an empty claim or at master submit.
+    std::atomic<std::int64_t> inflight{0};
   };
 
-  void worker_loop(int worker_id, int group_id, bool is_master);
-  void run_master(Group& group, int group_id, int worker_id);
-  void run_slave(Group& group, int group_id, int worker_id);
+  /// Per-participant accounting and identity for one frame. Slots are a
+  /// fixed pool of `processors` entries: a participant occupies the lowest
+  /// free slot and its index is its producer affinity (index mod pipes) —
+  /// stable across leave/rejoin churn, which matters twice over: with
+  /// steal=false a worker that drains its group and rejoins lands back on
+  /// the *same* starved partition (the static-baseline semantics the
+  /// balance ablation measures), and per-slot stats keep genP attribution
+  /// per virtual processor, not per join.
+  struct Slot {
+    double genP_seconds = 0.0;
+    double steal_seconds = 0.0;
+    std::int64_t stolen_chunks = 0;
+    std::int64_t stolen_spots = 0;
+    std::int64_t cross_session_chunks = 0;
+    std::int64_t cross_session_spots = 0;
+  };
+
+  struct FrameHandle;  // Runtime::SharedJob adapter (defined in the .cpp)
+
+  /// One participant serving the current frame: joins (subject to the
+  /// processor budget; the caller always fits), claims master roles and
+  /// produces until no work remains. The caller additionally waits for
+  /// frame completion before leaving. Returns whether any work was done.
+  bool serve_frame(bool is_caller);
+  bool participant_loop(Slot& slot, int ordinal, bool is_caller);
+  void run_master(Group& group, Slot& slot, bool is_caller);
+  /// One unit of producer work: claim from the affinity group, else steal
+  /// from the most loaded running group. Returns false when nothing is
+  /// claimable right now.
+  bool producer_once(Slot& slot, int ordinal, bool is_caller);
+  /// One steal attempt on behalf of a master; returns true if the scan
+  /// should restart (work was done or raced away).
+  bool master_steal_once(Group& me, Slot& slot, bool is_caller);
   render::CommandBuffer generate_chunk(const Group& group,
                                        util::StealableWorkCounter::Range range,
-                                       int worker_id);
-  /// Largest-remainder victim for a thief from `group_id`; null when every
-  /// other group is drained.
-  [[nodiscard]] Group* pick_victim(int group_id);
-  /// Steals one chunk from `victim` and generates it into `out`, charging
-  /// the thief's steal accounting. False when the steal raced with the
-  /// owner and nothing was taken.
-  bool steal_chunk(Group& victim, int worker_id, Message& out);
+                                       Slot& slot, bool is_caller);
+  /// Largest-remaining victim, excluding `self`. Producers only see groups
+  /// whose master runs (their delivery blocks on the inbox); masters may
+  /// additionally raid not-yet-started groups (see the implementation for
+  /// the non-blocking delivery guarantees).
+  [[nodiscard]] Group* pick_victim(const Group* self, bool for_master);
+  /// Records the first failure, closes every inbox so no participant stays
+  /// blocked, and marks the frame failed.
+  void fail_frame(std::exception_ptr error);
+  void check_canceled() const {
+    if (cancel_token_ != nullptr &&
+        cancel_token_->load(std::memory_order_relaxed)) {
+      throw JobCanceled();
+    }
+  }
   /// Relative per-spot cost weights for the kd-cut; empty means uniform.
   [[nodiscard]] std::vector<double> estimate_spot_costs(
       std::span<const SpotInstance> spots) const;
-  /// One steal attempt on behalf of a master; returns true if work was done.
-  bool master_steal_once(Group& group, int group_id, int worker_id,
-                         std::int64_t& items_done);
-  /// Records the first failure, closes every inbox so no worker stays
-  /// blocked, and marks the frame failed.
-  void fail_frame(std::exception_ptr error);
   void prepare_tiles(std::span<const SpotInstance> spots);
   [[nodiscard]] std::int64_t global_index(const Group& group, std::int64_t local) const;
 
   SynthesisConfig synthesis_;
   DncConfig dnc_;
+  Runtime* runtime_;
 
   std::shared_ptr<render::Bus> bus_;
   std::vector<Tile> tiles_;            ///< one per group in tiled mode
   std::vector<std::unique_ptr<Group>> groups_;  // Group is immovable (owns a queue)
   render::Framebuffer final_;
   std::int64_t frame_serial_ = 0;
+  const std::atomic<bool>* cancel_token_ = nullptr;
 
-  // Per-frame job state, written by synthesize() before the start barrier.
+  // Per-frame job state, written by synthesize() before the job opens.
   const field::VectorField* job_field_ = nullptr;
   std::span<const SpotInstance> job_spots_;
   std::unique_ptr<SpotGeometryGenerator> job_generator_;
   TileAssignment job_assignment_;
-  bool stop_ = false;
 
-  // Frame failure protocol: the first worker to throw stores its exception,
-  // flips the flag, and closes every inbox; everyone else drains to the end
-  // barrier and synthesize() rethrows.
+  // Participation state for the frame in flight.
+  std::shared_ptr<FrameHandle> frame_handle_;
+  std::atomic<int> next_master_{0};   ///< master roles handed out
+  std::atomic<int> masters_done_{0};  ///< master roles completed (or bailed)
+  std::mutex job_mutex_;              ///< guards the fields below + slots_ growth
+  std::condition_variable job_cv_;    ///< master/participant transitions
+  bool frame_open_ = false;           ///< accepting participants
+  int active_participants_ = 0;       ///< includes the caller's reserved seat
+  // Start gate: early participants line up until `gate_expected_` have
+  // joined or the deadline passes (see synthesize for why).
+  bool gate_open_ = true;
+  int gate_expected_ = 1;
+  std::chrono::steady_clock::time_point gate_deadline_{};
+  std::vector<Slot> slots_;                ///< fixed: one per processor
+  std::vector<std::uint8_t> slot_taken_;   ///< slot 0 is the caller's
+
+  // Frame failure protocol: the first participant to throw stores its
+  // exception, flips the flag, and closes every inbox; everyone else drains
+  // out and synthesize() rethrows on the caller thread.
   std::atomic<bool> frame_failed_{false};
   std::mutex error_mutex_;
   std::exception_ptr frame_error_;
-
-  std::vector<double> worker_genP_;   ///< per-worker CPU seconds, last frame
-  std::vector<double> worker_steal_seconds_;
-  std::vector<std::int64_t> worker_stolen_chunks_;
-  std::vector<std::int64_t> worker_stolen_spots_;
-  std::barrier<> start_barrier_;
-  std::barrier<> end_barrier_;
-  std::vector<std::jthread> workers_;  // last member: join before teardown
 };
 
 }  // namespace dcsn::core

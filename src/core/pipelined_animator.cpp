@@ -20,6 +20,14 @@ PipelinedAnimator::PipelinedAnimator(AnimatorConfig config,
   current_ = prepare(0);  // prologue: the first frame cannot overlap
 }
 
+PipelinedAnimator::~PipelinedAnimator() {
+  if (next_.valid()) next_.wait();  // a prepare task may still reference us
+  if (filtered_) {
+    // Scratch returns to the shared pool for other sessions.
+    synthesizer_.runtime().framebuffers().release(std::move(*filtered_));
+  }
+}
+
 PipelinedAnimator::Prepared PipelinedAnimator::prepare(std::int64_t frame) {
   const util::Stopwatch watch;
   Prepared p;
@@ -43,9 +51,11 @@ AnimationFrame PipelinedAnimator::step() {
   const util::Stopwatch total;
   AnimationFrame out;
 
-  // Kick off preparation of frame n+1 on a helper thread...
-  next_ = std::async(std::launch::async,
-                     [this, next_frame = frame_ + 1] { return prepare(next_frame); });
+  // Kick off preparation of frame n+1 on the shared runtime (tasks beat
+  // frame service in the pool, so a session's own synthesis cannot starve
+  // its pipeline prologue)...
+  next_ = synthesizer_.runtime().async(
+      [this, next_frame = frame_ + 1] { return prepare(next_frame); });
 
   // ...while frame n synthesizes on the engine. The engine never sees the
   // particle system, only the immutable snapshot taken by prepare(). The

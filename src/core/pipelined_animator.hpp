@@ -7,6 +7,10 @@
 // touch the model and the particle system, not the snapshot. This hides
 // steps 1-2 of the pipeline behind step 3 and is the natural "future work"
 // extension of the paper's design.
+//
+// The prepare step runs as a task on the engine's shared core::Runtime
+// (tasks have priority over frame service there), not on a private
+// std::async thread: N pipelined animators add zero threads of their own.
 #pragma once
 
 #include <future>
@@ -22,6 +26,7 @@ class PipelinedAnimator {
   /// next* step() (the pipeline holds one frame in flight).
   PipelinedAnimator(AnimatorConfig config, DncSynthesizer& synthesizer,
                     particles::ParticleSystem& particles, Animator::ReadData read_data);
+  ~PipelinedAnimator();
 
   /// Runs one pipelined iteration: synthesizes from the spots prepared by
   /// the previous step while preparing the next spot snapshot concurrently.

@@ -1,17 +1,146 @@
 #include "core/serial_synthesizer.hpp"
 
-#include "util/omp_compat.hpp"
-
+#include <atomic>
+#include <chrono>
 #include <cmath>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <utility>
 #include <vector>
 
 #include "util/error.hpp"
 #include "util/stopwatch.hpp"
+#include "util/threading.hpp"
 
 namespace dcsn::core {
 
+namespace {
+
+constexpr std::int64_t kChunk = 64;
+
+// Cooperative parallel-reduction job: participants (the caller + runtime
+// pool workers, capped at `max_participants`) claim spot chunks, rasterize
+// into a private pooled framebuffer, and fold their partial into the shared
+// texture on leave. Heap-owned via shared_ptr because pool workers may call
+// serve() from a stale registry snapshot after the frame finished — a
+// closed job refuses the join before touching any frame state.
+struct PartialReduceJob final : Runtime::SharedJob {
+  PartialReduceJob(Runtime& rt, const SynthesisConfig& config,
+                   const SpotGeometryGenerator& generator,
+                   const render::SpotProfile& profile,
+                   std::span<const SpotInstance> spots,
+                   render::Framebuffer& texture, int max_participants)
+      : runtime(rt),
+        config(config),
+        generator(generator),
+        profile(profile),
+        spots(spots),
+        texture(texture),
+        max_participants(max_participants),
+        counter(static_cast<std::int64_t>(spots.size()), kChunk) {}
+
+  bool serve() override {
+    {
+      std::lock_guard lock(mutex);
+      if (closed || active >= max_participants) return false;
+      ++active;
+    }
+    const bool worked = work();
+    {
+      std::lock_guard lock(mutex);
+      --active;
+    }
+    cv.notify_all();
+    return worked;
+  }
+
+  bool work() {
+    render::Framebuffer partial =
+        runtime.framebuffers().acquire(texture.width(), texture.height());
+    const render::RasterTarget target{partial.pixels(), 0, 0};
+    render::CommandBuffer buffer;
+    buffer.reserve(kChunk, static_cast<std::size_t>(config.vertices_per_spot()));
+    double genP = 0.0, genT = 0.0;
+    std::int64_t verts = 0;
+    render::RasterStats raster;
+    bool worked = false;
+    try {
+      for (;;) {
+        if (failed.load(std::memory_order_relaxed)) break;
+        const auto range = counter.claim();
+        if (range.empty()) break;
+        worked = true;
+        buffer.clear();
+        util::ThreadCpuStopwatch watch;
+        for (std::int64_t k = range.begin; k < range.end; ++k) {
+          generator.generate(spots[static_cast<std::size_t>(k)], buffer);
+        }
+        genP += watch.seconds();
+        watch.restart();
+        render::rasterize_buffer(target, buffer, profile,
+                                 render::BlendMode::kAdditive, raster);
+        genT += watch.seconds();
+        verts += static_cast<std::int64_t>(buffer.vertex_count());
+      }
+    } catch (...) {
+      std::lock_guard lock(mutex);
+      if (!error) error = std::current_exception();
+      failed.store(true, std::memory_order_relaxed);
+    }
+    {
+      std::lock_guard lock(mutex);
+      // Lattice-exact accumulation commutes, so fold order cannot show in
+      // the pixels — any participant may merge at any time.
+      if (!failed.load(std::memory_order_relaxed)) texture.accumulate(partial);
+      stats.genP_seconds += genP;
+      stats.genT_seconds += genT;
+      stats.vertices += verts;
+      stats.raster += raster;
+    }
+    runtime.framebuffers().release(std::move(partial));
+    return worked;
+  }
+
+  /// Caller-side completion: work is drained (or the job failed) and every
+  /// participant folded out. Does not throw — the caller deregisters the
+  /// job from the runtime first and rethrows `error` after, so a failed
+  /// frame can never leak a registered job.
+  void finish_as_caller() {
+    std::unique_lock lock(mutex);
+    cv.wait(lock, [&] {
+      return (counter.drained() || failed.load(std::memory_order_relaxed)) &&
+             active == 0;
+    });
+    closed = true;
+  }
+
+  Runtime& runtime;
+  const SynthesisConfig& config;
+  const SpotGeometryGenerator& generator;
+  const render::SpotProfile& profile;
+  std::span<const SpotInstance> spots;
+  render::Framebuffer& texture;
+  const int max_participants;
+
+  util::WorkCounter counter;
+  std::mutex mutex;
+  std::condition_variable cv;
+  int active = 0;
+  bool closed = false;
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  SerialStats stats;
+};
+
+}  // namespace
+
 SerialSynthesizer::SerialSynthesizer(SynthesisConfig config)
+    : SerialSynthesizer(config, Runtime::global()) {}
+
+SerialSynthesizer::SerialSynthesizer(SynthesisConfig config, Runtime& runtime)
     : config_(config),
+      runtime_(&runtime),
       texture_(config.texture_width, config.texture_height),
       profile_(render::SpotProfile::make_shared(config.profile_shape,
                                                 config.profile_resolution)) {}
@@ -37,8 +166,6 @@ SerialStats SerialSynthesizer::synthesize(const field::VectorField& f,
   const SpotGeometryGenerator generator(config_, f);
   texture_.clear();
 
-  constexpr std::int64_t kChunk = 64;
-
   if (threads == 1) {
     const render::RasterTarget target{texture_.pixels(), 0, 0};
     render::CommandBuffer buffer;
@@ -61,47 +188,23 @@ SerialStats SerialSynthesizer::synthesize(const field::VectorField& f,
     stats.genP_seconds = genP.seconds();
     stats.genT_seconds = genT.seconds();
   } else {
-    // Worker-private framebuffers, reduced by addition afterwards.
-    std::vector<render::Framebuffer> partials;
-    partials.reserve(static_cast<std::size_t>(threads));
-    for (int t = 0; t < threads; ++t)
-      partials.emplace_back(config_.texture_width, config_.texture_height);
-    std::vector<double> genP(static_cast<std::size_t>(threads), 0.0);
-    std::vector<double> genT(static_cast<std::size_t>(threads), 0.0);
-    std::vector<render::RasterStats> raster(static_cast<std::size_t>(threads));
-    std::vector<std::int64_t> vertices(static_cast<std::size_t>(threads), 0);
-
-    const auto n = static_cast<std::int64_t>(spots.size());
-#pragma omp parallel num_threads(threads)
-    {
-      const auto tid = static_cast<std::size_t>(omp_get_thread_num());
-      const render::RasterTarget target{partials[tid].pixels(), 0, 0};
-      render::CommandBuffer buffer;
-      buffer.reserve(kChunk, static_cast<std::size_t>(config_.vertices_per_spot()));
-#pragma omp for schedule(dynamic, 1)
-      for (std::int64_t chunk = 0; chunk < (n + kChunk - 1) / kChunk; ++chunk) {
-        const std::int64_t begin = chunk * kChunk;
-        const std::int64_t end = std::min(n, begin + kChunk);
-        buffer.clear();
-        util::Stopwatch watch;
-        for (std::int64_t k = begin; k < end; ++k)
-          generator.generate(spots[static_cast<std::size_t>(k)], buffer);
-        genP[tid] += watch.seconds();
-        watch.restart();
-        render::rasterize_buffer(target, buffer, *profile_,
-                                 render::BlendMode::kAdditive, raster[tid]);
-        genT[tid] += watch.seconds();
-        vertices[tid] += static_cast<std::int64_t>(buffer.vertex_count());
-      }
-    }
-    for (int t = 0; t < threads; ++t) {
-      const auto ts = static_cast<std::size_t>(t);
-      texture_.accumulate(partials[ts]);
-      stats.genP_seconds += genP[ts];
-      stats.genT_seconds += genT[ts];
-      stats.raster += raster[ts];
-      stats.vertices += vertices[ts];
-    }
+    // Worker-private framebuffers reduced by lattice-exact addition; the
+    // workers are the runtime's shared pool plus this thread.
+    runtime_->ensure_workers(threads);
+    auto job = std::make_shared<PartialReduceJob>(*runtime_, config_, generator,
+                                                  *profile_, spots, texture_, threads);
+    runtime_->register_job(job);
+    (void)job->serve();  // the caller participates (and guarantees progress)
+    // Wait out pool participants still holding chunks, deregister, and
+    // only then surface a participant's exception — rethrowing first would
+    // leak the job in the runtime's registry.
+    job->finish_as_caller();
+    runtime_->deregister_job(job.get());
+    if (job->error) std::rethrow_exception(job->error);
+    stats.genP_seconds = job->stats.genP_seconds;
+    stats.genT_seconds = job->stats.genT_seconds;
+    stats.vertices = job->stats.vertices;
+    stats.raster = job->stats.raster;
   }
 
   stats.total_seconds = total.seconds();

@@ -5,16 +5,24 @@
 // no graphics subsystem involved. It doubles as the paper's §4 alternative
 // ("if processors are sufficiently fast ... bypassing the graphics
 // subsystem altogether") when run with threads > 1, where spots are
-// processed in OpenMP worker-private framebuffers that are summed at the
-// end — valid because addition commutes.
+// processed into worker-private framebuffers that are summed at the end —
+// valid because lattice-snapped addition commutes exactly.
+//
+// The threads > 1 path borrows its workers from the shared core::Runtime
+// (the same pool the divide-and-conquer engine multiplexes) and its
+// worker-private partials from the runtime's framebuffer pool, instead of
+// opening a private OpenMP region: one pool serves every synthesis strategy
+// in the process, and the path stays visible to ThreadSanitizer (libgomp's
+// barriers are not instrumented).
 //
 // It is also the reference implementation the divide-and-conquer engine is
-// tested against: for the same spots both must produce the same texture (up
-// to float summation order).
+// tested against: for the same spots both must produce the same texture
+// (bit-identical — see tests/test_determinism.cpp).
 #pragma once
 
 #include <memory>
 
+#include "core/runtime.hpp"
 #include "core/spot_geometry.hpp"
 #include "core/spot_params.hpp"
 #include "render/framebuffer.hpp"
@@ -33,16 +41,21 @@ struct SerialStats {
 
 class SerialSynthesizer {
  public:
+  /// Borrows from the process-global Runtime for threads > 1.
   explicit SerialSynthesizer(SynthesisConfig config);
+  SerialSynthesizer(SynthesisConfig config, Runtime& runtime);
 
   /// Renders `spots` over `f` into the internal texture and returns stats.
   /// threads == 1 reproduces the historical serial path bit-for-bit for a
-  /// fixed seed; threads > 1 parallelizes with OpenMP.
+  /// fixed seed; threads > 1 parallelizes over the runtime's worker pool
+  /// (the calling thread always participates, so progress never depends on
+  /// pool availability).
   SerialStats synthesize(const field::VectorField& f,
                          std::span<const SpotInstance> spots, int threads = 1);
 
   [[nodiscard]] const render::Framebuffer& texture() const { return texture_; }
   [[nodiscard]] const SynthesisConfig& config() const { return config_; }
+  [[nodiscard]] Runtime& runtime() const { return *runtime_; }
 
   /// Intensity scale that keeps texture standard deviation roughly
   /// independent of spot count: amplitudes add in quadrature, so scale by
@@ -51,6 +64,7 @@ class SerialSynthesizer {
 
  private:
   SynthesisConfig config_;
+  Runtime* runtime_;
   render::Framebuffer texture_;
   std::shared_ptr<const render::SpotProfile> profile_;
 };

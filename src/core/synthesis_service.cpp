@@ -1,0 +1,230 @@
+#include "core/synthesis_service.hpp"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "util/error.hpp"
+#include "util/threading.hpp"
+
+namespace dcsn::core {
+
+SynthesisService::SynthesisService(ServiceConfig config, Runtime& runtime)
+    : runtime_(&runtime), config_(config) {
+  DCSN_CHECK(config_.drivers >= 1, "the service needs at least one driver");
+  drivers_.reserve(static_cast<std::size_t>(config_.drivers));
+  for (int d = 0; d < config_.drivers; ++d) {
+    drivers_.emplace_back([this] { driver_loop(); });
+  }
+}
+
+SynthesisService::~SynthesisService() { shutdown(/*drain=*/true); }
+
+SynthesisService::SessionId SynthesisService::open_session(
+    const SynthesisConfig& synthesis, const DncConfig& dnc, int priority) {
+  // Engine construction outside the lock: it touches the runtime (pipe
+  // checkout, pool growth) and may take a moment.
+  auto session = std::make_unique<Session>();
+  session->priority = priority;
+  session->engine = std::make_unique<DncSynthesizer>(synthesis, dnc, *runtime_);
+  std::lock_guard lock(mutex_);
+  DCSN_CHECK(accepting_, "the service is shutting down");
+  session->id = next_session_id_++;
+  const SessionId id = session->id;
+  sessions_.emplace(id, std::move(session));
+  return id;
+}
+
+void SynthesisService::close_session(SessionId id) {
+  std::unique_ptr<Session> dead;
+  {
+    std::lock_guard lock(mutex_);
+    auto it = sessions_.find(id);
+    if (it == sessions_.end()) return;
+    Session& session = *it->second;
+    session.closed = true;
+    cancel_pending(session);
+    if (!session.running) {
+      dead = std::move(it->second);
+      sessions_.erase(it);
+    }
+    // else: the driver finishing the running job reaps the session.
+  }
+  cv_.notify_all();
+  // `dead` (and its engine) tears down outside the lock.
+}
+
+SynthesisService::JobTicket SynthesisService::submit(SessionId id,
+                                                     SynthesisRequest request) {
+  DCSN_CHECK(request.field != nullptr, "a synthesis request needs a field");
+  JobTicket ticket;
+  {
+    std::lock_guard lock(mutex_);
+    DCSN_CHECK(accepting_, "the service is shutting down");
+    auto it = sessions_.find(id);
+    DCSN_CHECK(it != sessions_.end() && !it->second->closed,
+               "unknown or closed session");
+    auto job = std::make_shared<Job>();
+    job->id = next_job_id_++;
+    job->session = id;
+    job->request = std::move(request);
+    ticket.id = job->id;
+    ticket.session = id;
+    ticket.result = job->promise.get_future();
+    jobs_.emplace(job->id, job);
+    it->second->queue.push_back(std::move(job));
+  }
+  cv_.notify_all();
+  return ticket;
+}
+
+bool SynthesisService::cancel(JobId id) {
+  std::lock_guard lock(mutex_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return false;  // unknown or already completed
+  Job& job = *it->second;
+  job.cancel.store(true, std::memory_order_relaxed);
+  if (job.state == JobState::kPending) {
+    auto session_it = sessions_.find(job.session);
+    if (session_it != sessions_.end()) {
+      std::erase_if(session_it->second->queue,
+                    [id](const auto& j) { return j->id == id; });
+    }
+    job.promise.set_exception(std::make_exception_ptr(JobCanceled()));
+    job.state = JobState::kDone;
+    jobs_.erase(it);
+  }
+  // kRunning: the engine's cancel token aborts the frame at the next chunk
+  // boundary; the driver resolves the future with JobCanceled.
+  return true;
+}
+
+void SynthesisService::shutdown(bool drain) {
+  {
+    std::lock_guard lock(mutex_);
+    accepting_ = false;
+    if (shutdown_) return;  // idempotent: a second call changes nothing
+    shutdown_ = true;
+    drain_ = drain;
+    if (!drain) {
+      for (auto& [id, session] : sessions_) cancel_pending(*session);
+      // Frames in flight are canceled cooperatively; their drivers resolve
+      // the tickets.
+      for (auto& [jid, job] : jobs_) {
+        if (job->state == JobState::kRunning) {
+          job->cancel.store(true, std::memory_order_relaxed);
+        }
+      }
+    }
+  }
+  cv_.notify_all();
+  drivers_.clear();  // joins
+}
+
+int SynthesisService::pending_jobs() const {
+  std::lock_guard lock(mutex_);
+  int n = 0;
+  for (const auto& [id, session] : sessions_) {
+    n += static_cast<int>(session->queue.size());
+  }
+  return n;
+}
+
+void SynthesisService::cancel_pending(Session& session) {
+  for (auto& job : session.queue) {
+    job->promise.set_exception(std::make_exception_ptr(JobCanceled()));
+    job->state = JobState::kDone;
+    jobs_.erase(job->id);
+  }
+  session.queue.clear();
+}
+
+SynthesisService::Session* SynthesisService::pick_session() {
+  Session* best = nullptr;
+  for (auto& [id, session] : sessions_) {
+    if (session->running || session->queue.empty()) continue;
+    if (best == nullptr || session->priority > best->priority ||
+        (session->priority == best->priority &&
+         session->last_served < best->last_served)) {
+      best = session.get();
+    }
+  }
+  return best;
+}
+
+void SynthesisService::driver_loop() {
+  util::set_current_thread_name("dcsn-svc");
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    Session* session = pick_session();
+    if (session == nullptr) {
+      const bool backlog =
+          std::any_of(sessions_.begin(), sessions_.end(),
+                      [](const auto& s) { return !s.second->queue.empty(); });
+      if (shutdown_ && (!drain_ || !backlog)) return;
+      cv_.wait(lock);
+      continue;
+    }
+    std::shared_ptr<Job> job = session->queue.front();
+    session->queue.pop_front();
+    session->running = true;
+    session->last_served = ++serve_clock_;
+    const std::int64_t seq = serve_clock_;
+    job->state = JobState::kRunning;
+    lock.unlock();
+    run_job(*session, *job, seq);
+    lock.lock();
+    jobs_.erase(job->id);
+    session->running = false;
+    std::unique_ptr<Session> dead;
+    if (session->closed) {
+      cancel_pending(*session);  // anything submitted before close raced in
+      auto it = sessions_.find(session->id);
+      if (it != sessions_.end()) {
+        dead = std::move(it->second);
+        sessions_.erase(it);
+      }
+    }
+    if (dead) {
+      lock.unlock();
+      dead.reset();  // engine teardown outside the lock
+      lock.lock();
+    }
+    cv_.notify_all();  // this session may have runnable work again
+  }
+}
+
+void SynthesisService::run_job(Session& session, Job& job, std::int64_t seq) {
+  const double queue_wait = job.queued.seconds();
+  DncSynthesizer& engine = *session.engine;
+  engine.bind_cancel_token(&job.cancel);
+  try {
+    const SynthesisRequest& req = job.request;
+    FrameStats stats;
+    if (req.incremental && engine.dnc_config().tiled) {
+      const SynthesisCache::Decision d =
+          session.cache.plan(engine, *req.field, req.spots);
+      stats = engine.synthesize(*req.field, req.spots,
+                                d.incremental ? &d.plan : nullptr);
+      session.cache.commit(engine, *req.field, std::move(job.request.spots));
+    } else {
+      stats = engine.synthesize(*req.field, req.spots);
+    }
+    engine.bind_cancel_token(nullptr);
+    stats.queue_wait_seconds = queue_wait;
+    SynthesisResult result;
+    result.stats = stats;
+    result.content_hash = engine.texture().content_hash();
+    result.service_seq = seq;
+    if (req.capture_texture) result.texture = engine.texture();
+    job.promise.set_value(std::move(result));
+  } catch (...) {
+    // Frame failures are session-local: the engine's failure protocol
+    // already rearmed it, the cache's serial guard refuses the uncommitted
+    // frame, and only this ticket observes the exception.
+    engine.bind_cancel_token(nullptr);
+    job.promise.set_exception(std::current_exception());
+  }
+}
+
+}  // namespace dcsn::core

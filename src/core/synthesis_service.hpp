@@ -1,0 +1,175 @@
+// Asynchronous multi-session synthesis service.
+//
+// The paper's engine serves exactly one interactive user; the ROADMAP's
+// north star is a system serving many. SynthesisService is that front end:
+// clients open sessions (one engine + one temporal cache each, all
+// borrowing pipes/workers/buffers from one shared core::Runtime) and submit
+// frames as asynchronous jobs:
+//
+//   submit(session, request) → JobTicket (a future of FrameStats + texture
+//   fingerprint), with per-session priority, FIFO order *within* a session
+//   (frames of an animation must stay ordered), round-robin fairness
+//   *between* sessions of equal priority, best-effort cancellation (mid-
+//   frame cancels ride the engine's frame-failure protocol and surface as
+//   JobCanceled), and graceful shutdown (drain or cancel the backlog).
+//
+// Driver threads dispatch jobs onto sessions — at most one frame in flight
+// per session, because an engine is not re-entrant — and the runtime's
+// pool workers flow to whichever frames have work, so N quiet sessions
+// cost nothing and one loaded session can use the whole pool. A failing
+// session (a job whose field throws mid-frame) reports through its own
+// ticket and poisons nothing: the engine's failure protocol rearms it for
+// the next job, and other sessions never notice.
+//
+// Determinism note: because rasterization is target-independent and
+// accumulation lattice-exact (PR 4), a frame's pixels — and therefore its
+// content_hash — are identical whether its session ran alone or multiplexed
+// with any number of others. tests/test_service.cpp pins exactly that.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "core/dnc_synthesizer.hpp"
+#include "core/runtime.hpp"
+#include "core/synthesis_cache.hpp"
+
+namespace dcsn::core {
+
+struct ServiceConfig {
+  /// Driver threads = sessions that can be mid-frame simultaneously.
+  int drivers = 2;
+};
+
+/// One frame's worth of work for a session. `field` must stay valid until
+/// the job's future resolves; `spots` is an owned snapshot.
+struct SynthesisRequest {
+  const field::VectorField* field = nullptr;
+  std::vector<SpotInstance> spots;
+  /// Plan through the session's SynthesisCache (tiled engines only): clean
+  /// tiles are served from retention, bit-identical to a full render.
+  bool incremental = false;
+  /// Copy the finished texture into the result (costs one texture copy;
+  /// the content hash is always included).
+  bool capture_texture = false;
+};
+
+struct SynthesisResult {
+  FrameStats stats;
+  /// Framebuffer::content_hash of the finished texture — the bit-exact
+  /// frame identity (stable across sessions, scheduling and sharing).
+  std::uint64_t content_hash = 0;
+  /// Global dispatch ordinal: the order drivers started jobs in. Lets
+  /// clients (and the fairness tests) observe the scheduling order.
+  std::int64_t service_seq = 0;
+  std::optional<render::Framebuffer> texture;  ///< when capture_texture
+};
+
+class SynthesisService {
+ public:
+  using SessionId = std::int64_t;
+  using JobId = std::int64_t;
+
+  struct JobTicket {
+    JobId id = 0;
+    SessionId session = 0;
+    /// Resolves with the result, or throws: JobCanceled for canceled jobs,
+    /// the frame's exception for failed ones.
+    std::future<SynthesisResult> result;
+  };
+
+  explicit SynthesisService(ServiceConfig config = {},
+                            Runtime& runtime = Runtime::global());
+  ~SynthesisService();  // shutdown(true)
+
+  SynthesisService(const SynthesisService&) = delete;
+  SynthesisService& operator=(const SynthesisService&) = delete;
+
+  /// Creates a session: one engine + temporal cache on the shared runtime.
+  /// Higher `priority` sessions are dispatched first; equal priorities
+  /// round-robin.
+  [[nodiscard]] SessionId open_session(const SynthesisConfig& synthesis,
+                                       const DncConfig& dnc, int priority = 0);
+
+  /// Cancels the session's pending jobs (their futures get JobCanceled) and
+  /// tears the engine down once any running job finishes.
+  void close_session(SessionId id);
+
+  /// Enqueues one frame. Throws util::Error if the service is shutting
+  /// down or the session is unknown/closed.
+  [[nodiscard]] JobTicket submit(SessionId id, SynthesisRequest request);
+
+  /// Best-effort cancel: a pending job is removed from its queue and its
+  /// future gets JobCanceled immediately; a running job's engine abandons
+  /// the frame at the next chunk boundary. Returns false when the job
+  /// already completed (or was never known).
+  bool cancel(JobId id);
+
+  /// Stops accepting work. With `drain`, queued jobs still run to
+  /// completion; without, pending futures get JobCanceled and running
+  /// frames are canceled mid-flight. Joins the drivers; idempotent.
+  void shutdown(bool drain = true);
+
+  [[nodiscard]] int pending_jobs() const;
+  [[nodiscard]] Runtime& runtime() const { return *runtime_; }
+
+ private:
+  enum class JobState { kPending, kRunning, kDone };
+
+  struct Job {
+    JobId id = 0;
+    SessionId session = 0;
+    SynthesisRequest request;
+    std::promise<SynthesisResult> promise;
+    std::atomic<bool> cancel{false};  ///< the engine's per-job cancel token
+    util::Stopwatch queued;           ///< submit → dispatch = queue wait
+    JobState state = JobState::kPending;  // guarded by mutex_
+  };
+
+  struct Session {
+    SessionId id = 0;
+    int priority = 0;
+    std::unique_ptr<DncSynthesizer> engine;
+    SynthesisCache cache;
+    std::deque<std::shared_ptr<Job>> queue;  ///< per-session FIFO
+    bool running = false;  ///< a driver is mid-frame on this engine
+    bool closed = false;
+    std::int64_t last_served = 0;  ///< fairness clock (round-robin)
+  };
+
+  void driver_loop();
+  /// Highest-priority session with a runnable head job; equal priorities go
+  /// to the least recently served. Caller holds mutex_.
+  [[nodiscard]] Session* pick_session();
+  void run_job(Session& session, Job& job, std::int64_t seq);
+  /// Fails every pending job of `session` with JobCanceled. Caller holds
+  /// mutex_.
+  void cancel_pending(Session& session);
+
+  Runtime* runtime_;
+  ServiceConfig config_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::map<SessionId, std::unique_ptr<Session>> sessions_;
+  std::map<JobId, std::shared_ptr<Job>> jobs_;  ///< pending + running
+  SessionId next_session_id_ = 1;
+  JobId next_job_id_ = 1;
+  std::int64_t serve_clock_ = 0;
+  bool accepting_ = true;
+  bool shutdown_ = false;
+  bool drain_ = true;
+
+  std::vector<std::jthread> drivers_;  // joined by shutdown()
+};
+
+}  // namespace dcsn::core

@@ -25,6 +25,13 @@ void Framebuffer::clear(float value) {
   std::fill(data_.begin(), data_.end(), value);
 }
 
+void Framebuffer::reset(int width, int height) {
+  const std::size_t count = checked_pixel_count(width, height);
+  width_ = width;
+  height_ = height;
+  data_.assign(count, 0.0f);
+}
+
 void Framebuffer::accumulate(const Framebuffer& src) {
   DCSN_CHECK(src.width_ == width_ && src.height_ == height_,
              "accumulate requires equal framebuffer sizes");

@@ -28,6 +28,13 @@ class Framebuffer {
 
   void clear(float value = 0.0f);
 
+  /// Reshapes to `width` x `height` and zero-fills every pixel, reusing the
+  /// existing allocation when it is large enough. This is the checkout path
+  /// of render::FramebufferPool: a recycled buffer must never leak a
+  /// previous frame's pixels, so reset() both re-validates the dimensions
+  /// and clears unconditionally.
+  void reset(int width, int height);
+
   [[nodiscard]] util::Span2D<float> pixels() {
     return {data_.data(), width_, height_};
   }

@@ -1,0 +1,45 @@
+#include "render/framebuffer_pool.hpp"
+
+#include <utility>
+
+namespace dcsn::render {
+
+Framebuffer FramebufferPool::acquire(int width, int height) {
+  Framebuffer buffer;
+  {
+    std::lock_guard lock(mutex_);
+    if (!idle_.empty()) {
+      buffer = std::move(idle_.back());
+      idle_.pop_back();
+      ++reuses_;
+    }
+  }
+  // Outside the lock: reset() re-validates the dimensions and zero-fills,
+  // which is the whole checkout contract — a recycled buffer can never leak
+  // a previous job's pixels into a retention compose.
+  buffer.reset(width, height);
+  return buffer;
+}
+
+void FramebufferPool::release(Framebuffer&& buffer) {
+  if (buffer.pixel_count() == 0) return;  // default-constructed: nothing to keep
+  std::lock_guard lock(mutex_);
+  if (idle_.size() >= max_idle_) {
+    // Drop the oldest retained buffer instead of the incoming one: recent
+    // sizes predict future acquires better.
+    idle_.erase(idle_.begin());
+  }
+  idle_.push_back(std::move(buffer));
+}
+
+std::size_t FramebufferPool::idle_count() const {
+  std::lock_guard lock(mutex_);
+  return idle_.size();
+}
+
+std::int64_t FramebufferPool::reuse_count() const {
+  std::lock_guard lock(mutex_);
+  return reuses_;
+}
+
+}  // namespace dcsn::render

@@ -1,0 +1,55 @@
+// Recycling pool for Framebuffers (readback textures, partial buffers,
+// filter scratch).
+//
+// The engine's hot paths used to allocate a fresh float texture per pipe
+// readback and per worker-private partial — megabytes of allocator traffic
+// per frame once several sessions multiplex one runtime. The pool keeps
+// released buffers and hands them back on acquire().
+//
+// Checkout contract (the invariant the regression suite pins): acquire()
+// always returns a buffer with *exactly* the requested dimensions and
+// *every pixel zeroed*, regardless of what the recycled buffer previously
+// held. A recycled buffer must never leak another job's pixels — the
+// clean-tile retention path of the incremental engine composes fresh tiles
+// over whatever the destination already contains, so a dirty checkout would
+// silently corrupt retained regions.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "render/framebuffer.hpp"
+
+namespace dcsn::render {
+
+class FramebufferPool {
+ public:
+  /// `max_idle` bounds how many released buffers are retained; extras are
+  /// destroyed on release (newest kept — most likely to match future sizes).
+  explicit FramebufferPool(std::size_t max_idle = 64) : max_idle_(max_idle) {}
+
+  FramebufferPool(const FramebufferPool&) = delete;
+  FramebufferPool& operator=(const FramebufferPool&) = delete;
+
+  /// Returns a `width` x `height` buffer with all pixels zero. Reuses a
+  /// released buffer's allocation when one is available.
+  [[nodiscard]] Framebuffer acquire(int width, int height);
+
+  /// Returns a buffer to the pool. Contents are irrelevant — the next
+  /// acquire() re-validates dimensions and clears.
+  void release(Framebuffer&& buffer);
+
+  [[nodiscard]] std::size_t idle_count() const;
+
+  /// acquire() calls served from a recycled buffer (vs fresh allocation).
+  [[nodiscard]] std::int64_t reuse_count() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<Framebuffer> idle_;
+  std::size_t max_idle_;
+  std::int64_t reuses_ = 0;
+};
+
+}  // namespace dcsn::render

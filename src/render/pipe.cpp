@@ -32,6 +32,12 @@ void GraphicsPipe::set_viewport_origin(int x, int y) {
 
 void GraphicsPipe::resize_target(int width, int height) {
   DCSN_CHECK(width > 0 && height > 0, "pipe target dimensions must be positive");
+  // Caller-side bookkeeping: config() must reflect the actual target shape
+  // so a pool checkout can tell whether a reshape is needed. Only the
+  // dimensions are written; the server thread reads the behavioral fields,
+  // which never change after construction.
+  config_.width = width;
+  config_.height = height;
   queue_.push(CmdResize{width, height});
 }
 
@@ -64,6 +70,12 @@ Framebuffer GraphicsPipe::read_back() {
   finish();
   if (bus_) bus_->transfer(target_.byte_size());
   return target_;  // copy: the "texture" crossing back to host memory
+}
+
+void GraphicsPipe::read_back_into(Framebuffer& out) {
+  finish();
+  if (bus_) bus_->transfer(target_.byte_size());
+  out = target_;  // copy assignment reuses `out`'s allocation when it fits
 }
 
 PipeStats GraphicsPipe::stats() const {

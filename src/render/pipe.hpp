@@ -112,6 +112,19 @@ class GraphicsPipe {
   /// finish() + copy the render target back across the bus.
   [[nodiscard]] Framebuffer read_back();
 
+  /// read_back() into a caller-provided buffer (reshaped to the target's
+  /// dimensions, reusing its allocation) — the pooled-readback path: with a
+  /// render::FramebufferPool buffer this makes the sequential gather
+  /// allocation-free in steady state.
+  void read_back_into(Framebuffer& out);
+
+  /// Rebinds the host<->pipe bus. Part of the pipe-pool checkout protocol:
+  /// pooled pipes are reused across sessions that each keep their own Bus
+  /// model. Caller-thread state (the bus is consulted on submit/read_back,
+  /// never by the server thread); call only while no commands are in
+  /// flight, i.e. between sessions.
+  void set_bus(std::shared_ptr<Bus> bus) { bus_ = std::move(bus); }
+
   // --- introspection ---
 
   [[nodiscard]] const PipeConfig& config() const { return config_; }

@@ -10,6 +10,7 @@
 // eq. 3.2 describes.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
@@ -71,6 +72,24 @@ class BoundedQueue {
     return value;
   }
 
+  /// Blocks up to `timeout` for an item. Returns nullopt on timeout or once
+  /// closed and drained. Masters of the synthesis engine use this while
+  /// waiting out their in-flight accounting: a producer that claimed a range
+  /// may race to an empty claim and never push, so an unbounded pop() could
+  /// wait on a message that is provably never coming — the timeout bounds
+  /// that window and the caller rechecks its exit condition.
+  template <class Rep, class Period>
+  std::optional<T> pop_for(std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock lock(mutex_);
+    not_empty_.wait_for(lock, timeout, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;  // timeout, or closed and drained
+    T value = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return value;
+  }
+
   /// Non-blocking pop.
   std::optional<T> try_pop() {
     std::unique_lock lock(mutex_);
@@ -102,6 +121,8 @@ class BoundedQueue {
     std::lock_guard lock(mutex_);
     return items_.size();
   }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
 
   [[nodiscard]] bool closed() const {
     std::lock_guard lock(mutex_);

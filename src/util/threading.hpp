@@ -44,6 +44,11 @@ class WorkCounter {
 
   [[nodiscard]] std::int64_t total() const noexcept { return total_; }
 
+  /// Every item has been handed out (a racy snapshot, monotone once true).
+  [[nodiscard]] bool drained() const noexcept {
+    return next_.load(std::memory_order_acquire) >= total_;
+  }
+
  private:
   std::int64_t total_;
   std::int64_t chunk_;

@@ -27,6 +27,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "core/dnc_synthesizer.hpp"
@@ -216,6 +217,42 @@ TEST(Determinism, ReferenceAlgorithmIsDeterministicToo) {
   EXPECT_EQ(one_pipe, run(scene, dnc));
   dnc.tiled = true;
   EXPECT_EQ(one_pipe, run(scene, dnc));
+}
+
+// ------------------------------------------------- cross-session sharing ---
+
+TEST(Determinism, CrossSessionWorkSharingDoesNotChangeBits) {
+  // The shared-runtime lattice property: two sessions synthesize
+  // concurrently on one Runtime, so pool workers migrate between their
+  // frames and a chunk of either scene may be generated by a worker that
+  // just served the other session. The per-pixel sums must not care. Solo
+  // references first, then three rounds of concurrent frames, every one
+  // compared bit for bit.
+  const Scene scene_a = make_scene(core::SpotKind::kEllipse, 400);
+  const Scene scene_b = make_scene(core::SpotKind::kBent, 250);
+  DncConfig dnc_a = base_config();  // contiguous, 2 pipes
+  DncConfig dnc_b = base_config();
+  dnc_b.tiled = true;  // mixed modes share the same worker pool
+  dnc_b.pipes = 4;
+  const render::Framebuffer ref_a = run(scene_a, dnc_a);
+  const render::Framebuffer ref_b = run(scene_b, dnc_b);
+
+  for (int round = 0; round < 3; ++round) {
+    DncSynthesizer engine_a(scene_a.synthesis, dnc_a);
+    DncSynthesizer engine_b(scene_b.synthesis, dnc_b);
+    {
+      std::jthread thread_b([&] {
+        for (int frame = 0; frame < 2; ++frame) {
+          engine_b.synthesize(*scene_b.field, scene_b.spots);
+        }
+      });
+      for (int frame = 0; frame < 2; ++frame) {
+        engine_a.synthesize(*scene_a.field, scene_a.spots);
+      }
+    }
+    EXPECT_EQ(ref_a, engine_a.texture()) << "session A, round " << round;
+    EXPECT_EQ(ref_b, engine_b.texture()) << "session B, round " << round;
+  }
 }
 
 }  // namespace

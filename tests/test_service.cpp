@@ -1,0 +1,468 @@
+// Tests for the shared engine runtime and the asynchronous multi-session
+// synthesis service: concurrent-session determinism (content hashes match
+// serial one-at-a-time runs bitwise), scheduling order (priority + FIFO
+// fairness), queue-wait accounting, cancellation before and mid-frame,
+// shutdown with pending jobs, session-local failure isolation, and the
+// device pools (pipe reuse via resize_target, framebuffer checkout
+// hygiene).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "core/dnc_synthesizer.hpp"
+#include "core/runtime.hpp"
+#include "core/serial_synthesizer.hpp"
+#include "core/spot_source.hpp"
+#include "core/synthesis_service.hpp"
+#include "field/analytic.hpp"
+#include "render/compose.hpp"
+#include "render/framebuffer_pool.hpp"
+#include "render/image.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+using namespace dcsn;
+using core::SynthesisService;
+using field::Rect;
+
+core::SynthesisConfig small_config(std::uint64_t seed = 42) {
+  core::SynthesisConfig config;
+  config.texture_width = 96;
+  config.texture_height = 96;
+  config.spot_count = 300;
+  config.spot_radius_px = 6.0;
+  config.kind = core::SpotKind::kEllipse;
+  config.seed = seed;
+  return config;
+}
+
+core::DncConfig small_dnc() {
+  core::DncConfig dnc;
+  dnc.processors = 2;
+  dnc.pipes = 1;
+  dnc.chunk_spots = 16;
+  return dnc;
+}
+
+std::vector<core::SpotInstance> test_spots(const core::SynthesisConfig& config,
+                                           Rect domain) {
+  util::Rng rng(config.seed);
+  auto spots = core::make_random_spots(domain, config.spot_count, rng);
+  for (auto& spot : spots) spot.intensity *= 0.2;
+  return spots;
+}
+
+/// A field whose sampling spins for `delay_per_sample` — the knob that makes
+/// a frame long enough to cancel mid-flight on any host.
+std::unique_ptr<field::VectorField> slow_field(Rect domain, double delay_per_sample) {
+  return std::make_unique<field::CallableField>(
+      [delay_per_sample](field::Vec2 p) -> field::Vec2 {
+        const util::Stopwatch w;
+        while (w.seconds() < delay_per_sample) {
+        }
+        return {0.2 * p.y + 0.1, -0.2 * p.x + 0.1};
+      },
+      domain, 1.0);
+}
+
+std::unique_ptr<field::VectorField> faulty_field(Rect domain) {
+  return std::make_unique<field::CallableField>(
+      [](field::Vec2 p) -> field::Vec2 {
+        if (p.x > 1.0) throw util::Error("injected session failure");
+        return {0.1, 0.2};
+      },
+      domain, 1.0);
+}
+
+// -------------------------------------------- concurrent determinism ------
+
+TEST(SynthesisService, ConcurrentSessionsMatchSerialHashesBitwise) {
+  // K sessions with distinct scenes, three frames each, all in flight at
+  // once over one runtime — the content hash of every frame must equal the
+  // hash a fresh engine produces for that scene alone. Work stealing
+  // between the sessions' frames cannot show in the pixels (the lattice
+  // guarantee), and per-session FIFO keeps each session's frames ordered.
+  constexpr int kSessions = 3;
+  constexpr int kFrames = 3;
+  const Rect domain{0, 0, 2, 2};
+  const auto f = field::analytic::taylor_green(1.0, domain);
+
+  std::vector<core::SynthesisConfig> configs;
+  std::vector<std::vector<core::SpotInstance>> spots;
+  std::vector<std::uint64_t> solo_hash;
+  for (int s = 0; s < kSessions; ++s) {
+    auto config = small_config(100 + static_cast<std::uint64_t>(s));
+    config.kind = s == 1 ? core::SpotKind::kBent : core::SpotKind::kEllipse;
+    config.bent.mesh_cols = 8;
+    config.bent.mesh_rows = 3;
+    config.bent.length_px = 18.0;
+    configs.push_back(config);
+    spots.push_back(test_spots(config, domain));
+    core::DncConfig dnc = small_dnc();
+    dnc.tiled = s == 2;
+    dnc.pipes = s == 2 ? 2 : 1;
+    dnc.processors = 2;
+    core::DncSynthesizer solo(config, dnc);
+    solo.synthesize(*f, spots.back());
+    solo_hash.push_back(solo.texture().content_hash());
+  }
+
+  SynthesisService service({.drivers = kSessions});
+  std::vector<SynthesisService::SessionId> ids;
+  for (int s = 0; s < kSessions; ++s) {
+    core::DncConfig dnc = small_dnc();
+    dnc.tiled = s == 2;
+    dnc.pipes = s == 2 ? 2 : 1;
+    ids.push_back(service.open_session(configs[static_cast<std::size_t>(s)], dnc));
+  }
+  std::vector<SynthesisService::JobTicket> tickets;
+  for (int frame = 0; frame < kFrames; ++frame) {
+    for (int s = 0; s < kSessions; ++s) {
+      core::SynthesisRequest req;
+      req.field = f.get();
+      req.spots = spots[static_cast<std::size_t>(s)];
+      tickets.push_back(service.submit(ids[static_cast<std::size_t>(s)], std::move(req)));
+    }
+  }
+  std::size_t t = 0;
+  for (int frame = 0; frame < kFrames; ++frame) {
+    for (int s = 0; s < kSessions; ++s) {
+      core::SynthesisResult result = tickets[t++].result.get();
+      EXPECT_EQ(result.content_hash, solo_hash[static_cast<std::size_t>(s)])
+          << "session " << s << " frame " << frame;
+      EXPECT_GE(result.stats.queue_wait_seconds, 0.0);
+    }
+  }
+}
+
+// ------------------------------------------------- scheduling order -------
+
+TEST(SynthesisService, PriorityAndFairnessOrderDispatch) {
+  // One driver, jobs submitted while it is pinned on a slow frame:
+  // the high-priority session goes first, then the two equal-priority
+  // sessions alternate (round-robin), FIFO within each. service_seq is the
+  // dispatch order the driver actually used.
+  const Rect domain{0, 0, 2, 2};
+  const auto f = field::analytic::taylor_green(1.0, domain);
+  const auto slow = slow_field(domain, 20e-6);
+  auto config = small_config();
+  config.spot_count = 150;
+  const auto spots = test_spots(config, domain);
+
+  SynthesisService service({.drivers = 1});
+  const auto low_a = service.open_session(config, small_dnc(), /*priority=*/0);
+  const auto low_b = service.open_session(config, small_dnc(), /*priority=*/0);
+  const auto high = service.open_session(config, small_dnc(), /*priority=*/1);
+
+  auto request = [&](const field::VectorField& field) {
+    core::SynthesisRequest req;
+    req.field = &field;
+    req.spots = spots;
+    return req;
+  };
+
+  // Pin the driver so everything below queues up behind one frame.
+  auto pin = service.submit(low_a, request(*slow));
+  std::vector<SynthesisService::JobTicket> tickets;
+  tickets.push_back(service.submit(low_a, request(*f)));   // A1
+  tickets.push_back(service.submit(low_a, request(*f)));   // A2
+  tickets.push_back(service.submit(low_b, request(*f)));   // B1
+  tickets.push_back(service.submit(high, request(*f)));    // H1
+  (void)pin.result.get();
+
+  const std::int64_t seq_a1 = tickets[0].result.get().service_seq;
+  const std::int64_t seq_a2 = tickets[1].result.get().service_seq;
+  const std::int64_t seq_b1 = tickets[2].result.get().service_seq;
+  const std::int64_t seq_h1 = tickets[3].result.get().service_seq;
+  EXPECT_LT(seq_h1, seq_a1) << "priority session must be dispatched first";
+  EXPECT_LT(seq_h1, seq_b1);
+  EXPECT_LT(seq_a1, seq_a2) << "FIFO within a session";
+  // Fairness: after A1 ran, B has been served less recently than A, so B1
+  // must beat A2.
+  EXPECT_LT(seq_b1, seq_a2) << "equal-priority sessions round-robin";
+}
+
+TEST(SynthesisService, SecondJobAccountsQueueWait) {
+  const Rect domain{0, 0, 2, 2};
+  const auto slow = slow_field(domain, 20e-6);
+  auto config = small_config();
+  config.spot_count = 200;
+  const auto spots = test_spots(config, domain);
+  SynthesisService service({.drivers = 1});
+  const auto id = service.open_session(config, small_dnc());
+  core::SynthesisRequest req;
+  req.field = slow.get();
+  req.spots = spots;
+  auto first = service.submit(id, std::move(req));
+  core::SynthesisRequest req2;
+  req2.field = slow.get();
+  req2.spots = spots;
+  auto second = service.submit(id, std::move(req2));
+  const double first_wait = first.result.get().stats.queue_wait_seconds;
+  const double second_wait = second.result.get().stats.queue_wait_seconds;
+  EXPECT_GE(first_wait, 0.0);
+  EXPECT_GT(second_wait, 0.0) << "the second job waited behind the first";
+}
+
+// ----------------------------------------------------- cancellation -------
+
+TEST(SynthesisService, CancelPendingJobResolvesImmediately) {
+  const Rect domain{0, 0, 2, 2};
+  const auto slow = slow_field(domain, 20e-6);
+  auto config = small_config();
+  const auto spots = test_spots(config, domain);
+  SynthesisService service({.drivers = 1});
+  const auto id = service.open_session(config, small_dnc());
+  core::SynthesisRequest req;
+  req.field = slow.get();
+  req.spots = spots;
+  auto running = service.submit(id, std::move(req));
+  core::SynthesisRequest req2;
+  req2.field = slow.get();
+  req2.spots = spots;
+  auto pending = service.submit(id, std::move(req2));
+  EXPECT_TRUE(service.cancel(pending.id));
+  EXPECT_THROW((void)pending.result.get(), core::JobCanceled);
+  (void)running.result.get();  // unaffected
+}
+
+TEST(SynthesisService, CancelMidFrameAbandonsAndSessionRecovers) {
+  const Rect domain{0, 0, 2, 2};
+  // ~100 us of spinning per field sample makes the frame hundreds of
+  // milliseconds long — the cancel below lands mid-frame on any host.
+  const auto slow = slow_field(domain, 100e-6);
+  const auto fast = field::analytic::taylor_green(1.0, domain);
+  auto config = small_config();
+  const auto spots = test_spots(config, domain);
+  SynthesisService service({.drivers = 1});
+  const auto id = service.open_session(config, small_dnc());
+
+  core::SynthesisRequest req;
+  req.field = slow.get();
+  req.spots = spots;
+  auto ticket = service.submit(id, std::move(req));
+  // Wait until the job is definitely running (pending count drops), then
+  // cancel mid-frame.
+  while (service.pending_jobs() > 0) std::this_thread::yield();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_TRUE(service.cancel(ticket.id));
+  EXPECT_THROW((void)ticket.result.get(), core::JobCanceled);
+
+  // The engine abandoned the frame through the failure protocol; the same
+  // session must produce a correct frame right after.
+  core::SynthesisRequest good;
+  good.field = fast.get();
+  good.spots = spots;
+  auto recovered = service.submit(id, std::move(good));
+  core::DncSynthesizer solo(config, small_dnc());
+  solo.synthesize(*fast, spots);
+  EXPECT_EQ(recovered.result.get().content_hash, solo.texture().content_hash());
+}
+
+// --------------------------------------------------------- shutdown -------
+
+TEST(SynthesisService, ShutdownDrainsPendingJobs) {
+  const Rect domain{0, 0, 2, 2};
+  const auto f = field::analytic::taylor_green(1.0, domain);
+  auto config = small_config();
+  config.spot_count = 150;
+  const auto spots = test_spots(config, domain);
+  auto service = std::make_unique<SynthesisService>(core::ServiceConfig{.drivers = 1});
+  const auto id = service->open_session(config, small_dnc());
+  std::vector<SynthesisService::JobTicket> tickets;
+  for (int k = 0; k < 5; ++k) {
+    core::SynthesisRequest req;
+    req.field = f.get();
+    req.spots = spots;
+    tickets.push_back(service->submit(id, std::move(req)));
+  }
+  service->shutdown(/*drain=*/true);
+  for (auto& ticket : tickets) {
+    EXPECT_NO_THROW((void)ticket.result.get()) << "drained job must complete";
+  }
+  EXPECT_THROW((void)service->submit(id, {}), util::Error) << "no submits after shutdown";
+}
+
+TEST(SynthesisService, ShutdownWithoutDrainCancelsPending) {
+  const Rect domain{0, 0, 2, 2};
+  const auto slow = slow_field(domain, 50e-6);
+  auto config = small_config();
+  const auto spots = test_spots(config, domain);
+  SynthesisService service({.drivers = 1});
+  const auto id = service.open_session(config, small_dnc());
+  std::vector<SynthesisService::JobTicket> tickets;
+  for (int k = 0; k < 4; ++k) {
+    core::SynthesisRequest req;
+    req.field = slow.get();
+    req.spots = spots;
+    tickets.push_back(service.submit(id, std::move(req)));
+  }
+  service.shutdown(/*drain=*/false);
+  int canceled = 0;
+  for (auto& ticket : tickets) {
+    try {
+      (void)ticket.result.get();  // the running head job may win its race
+    } catch (const core::JobCanceled&) {
+      ++canceled;
+    }
+  }
+  EXPECT_GE(canceled, 3) << "pending jobs must be canceled, not silently run";
+}
+
+// ------------------------------------------------- failure isolation ------
+
+TEST(SynthesisService, ExceptionInOneSessionDoesNotPoisonOthers) {
+  const Rect domain{0, 0, 2, 2};
+  const auto good = field::analytic::taylor_green(1.0, domain);
+  const auto bad = faulty_field(domain);
+  auto config = small_config();
+  const auto spots = test_spots(config, domain);
+
+  SynthesisService service({.drivers = 2});
+  const auto victim = service.open_session(config, small_dnc());
+  const auto bystander = service.open_session(config, small_dnc());
+
+  core::DncSynthesizer solo(config, small_dnc());
+  solo.synthesize(*good, spots);
+  const std::uint64_t expected = solo.texture().content_hash();
+
+  // Interleave failing jobs on one session with good jobs on the other.
+  std::vector<SynthesisService::JobTicket> bad_jobs, good_jobs;
+  for (int k = 0; k < 3; ++k) {
+    core::SynthesisRequest fail_req;
+    fail_req.field = bad.get();
+    fail_req.spots = spots;
+    bad_jobs.push_back(service.submit(victim, std::move(fail_req)));
+    core::SynthesisRequest ok_req;
+    ok_req.field = good.get();
+    ok_req.spots = spots;
+    good_jobs.push_back(service.submit(bystander, std::move(ok_req)));
+  }
+  for (auto& job : bad_jobs) {
+    EXPECT_THROW((void)job.result.get(), util::Error);
+  }
+  for (auto& job : good_jobs) {
+    EXPECT_EQ(job.result.get().content_hash, expected)
+        << "a failing session corrupted a healthy one";
+  }
+  // The failing session itself recovers (the PR 2 frame-failure protocol).
+  core::SynthesisRequest recover;
+  recover.field = good.get();
+  recover.spots = spots;
+  EXPECT_EQ(service.submit(victim, std::move(recover)).result.get().content_hash,
+            expected);
+}
+
+// ----------------------------------------------------- device pools -------
+
+TEST(FramebufferPool, RecycledBufferIsCleanAndRightSize) {
+  // The checkout contract behind clean-tile retention: a recycled buffer
+  // must come back with exactly the requested shape and no pixels from the
+  // job that released it.
+  render::FramebufferPool pool;
+  render::Framebuffer dirty = pool.acquire(32, 16);
+  for (int y = 0; y < dirty.height(); ++y)
+    for (int x = 0; x < dirty.width(); ++x) dirty.at(x, y) = 7.0f;
+  pool.release(std::move(dirty));
+  ASSERT_EQ(pool.idle_count(), 1u);
+
+  render::Framebuffer same = pool.acquire(32, 16);
+  EXPECT_EQ(same.width(), 32);
+  EXPECT_EQ(same.height(), 16);
+  for (int y = 0; y < same.height(); ++y)
+    for (int x = 0; x < same.width(); ++x)
+      ASSERT_EQ(same.at(x, y), 0.0f) << "leaked pixel at " << x << "," << y;
+  EXPECT_GT(pool.reuse_count(), 0) << "the buffer must actually be recycled";
+  pool.release(std::move(same));
+
+  render::Framebuffer reshaped = pool.acquire(8, 64);
+  EXPECT_EQ(reshaped.width(), 8);
+  EXPECT_EQ(reshaped.height(), 64);
+  for (int y = 0; y < reshaped.height(); ++y)
+    for (int x = 0; x < reshaped.width(); ++x) ASSERT_EQ(reshaped.at(x, y), 0.0f);
+}
+
+TEST(FramebufferPool, RecycledBufferCannotLeakIntoRetentionCompose) {
+  // End-to-end version of the checkout contract: compose fresh tiles over a
+  // *recycled* destination with half the tiles masked off. The masked
+  // regions must read as the pristine zero checkout, not the previous
+  // job's pixels.
+  render::FramebufferPool pool;
+  render::Framebuffer previous_job = pool.acquire(64, 64);
+  for (int y = 0; y < 64; ++y)
+    for (int x = 0; x < 64; ++x) previous_job.at(x, y) = 3.5f;
+  pool.release(std::move(previous_job));
+
+  render::Framebuffer final_texture = pool.acquire(64, 64);
+  std::vector<render::Framebuffer> tiles;
+  tiles.emplace_back(32, 64);
+  tiles.emplace_back();  // clean tile: never read
+  for (int y = 0; y < 64; ++y)
+    for (int x = 0; x < 32; ++x) tiles[0].at(x, y) = 1.0f;
+  const std::vector<render::TilePlacement> placements{{0, 0}, {32, 0}};
+  const std::vector<std::uint8_t> dirty{1, 0};
+  render::compose_tiles_masked(final_texture, tiles, placements, dirty);
+  for (int y = 0; y < 64; ++y) {
+    for (int x = 0; x < 64; ++x) {
+      ASSERT_EQ(final_texture.at(x, y), x < 32 ? 1.0f : 0.0f)
+          << "at " << x << "," << y;
+    }
+  }
+}
+
+TEST(Runtime, PipePoolReusesReleasedPipes) {
+  core::Runtime runtime;
+  const std::int64_t created_before = runtime.pipes_created();
+  auto config = small_config();
+  core::DncConfig dnc = small_dnc();
+  {
+    core::DncSynthesizer engine(config, dnc, runtime);
+  }
+  const std::int64_t created_once = runtime.pipes_created() - created_before;
+  EXPECT_GE(created_once, 1);
+  {
+    // Same behavioral config, different texture size: the pooled pipe is
+    // reshaped via resize_target instead of constructing a new one.
+    auto bigger = config;
+    bigger.texture_width = 128;
+    bigger.texture_height = 64;
+    core::DncSynthesizer engine(bigger, dnc, runtime);
+    const Rect domain{0, 0, 2, 2};
+    const auto f = field::analytic::taylor_green(1.0, domain);
+    const auto spots = test_spots(bigger, domain);
+    engine.synthesize(*f, spots);
+    EXPECT_EQ(engine.texture().width(), 128);
+    EXPECT_GT(render::texture_stddev(engine.texture()), 0.0);
+  }
+  EXPECT_GT(runtime.pipes_reused(), 0)
+      << "the second session must reuse the released pipe";
+  EXPECT_EQ(runtime.pipes_created() - created_before, created_once)
+      << "no new pipe should be constructed for a matching config";
+}
+
+TEST(Runtime, SessionsOnPrivateRuntimeProduceIdenticalBits) {
+  // A session borrowing from an explicit private runtime renders the same
+  // bits as one on the global runtime — ownership is invisible to pixels.
+  const Rect domain{0, 0, 2, 2};
+  const auto f = field::analytic::taylor_green(1.0, domain);
+  auto config = small_config();
+  const auto spots = test_spots(config, domain);
+  core::DncConfig dnc = small_dnc();
+  dnc.processors = 3;
+  dnc.pipes = 1;
+  core::DncSynthesizer on_global(config, dnc);
+  on_global.synthesize(*f, spots);
+  core::Runtime private_runtime({.workers = 3});
+  core::DncSynthesizer on_private(config, dnc, private_runtime);
+  on_private.synthesize(*f, spots);
+  EXPECT_TRUE(on_global.texture() == on_private.texture());
+}
+
+}  // namespace
