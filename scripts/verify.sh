@@ -5,14 +5,17 @@
 #   scripts/verify.sh --tsan         # also run the concurrency suites under
 #                                    # ThreadSanitizer (build-tsan, opt-in:
 #                                    # the instrumented build is ~10x slower)
-#   scripts/verify.sh --bench-smoke  # also run the rasterizer, incremental
-#                                    # and service ablation gates on their
-#                                    # small workloads (exits nonzero if the
-#                                    # span kernel loses its >=1.5x margin /
-#                                    # equivalence, incremental reuse loses
-#                                    # its modeled speedup / bit-identity,
-#                                    # or 4 concurrent sessions stop beating
-#                                    # 2x one-at-a-time modeled throughput)
+#   scripts/verify.sh --bench-smoke  # also run the rasterizer, incremental,
+#                                    # service and tile-cache ablation gates
+#                                    # on their small workloads (exits
+#                                    # nonzero if the span kernel loses its
+#                                    # >=1.5x margin / equivalence,
+#                                    # incremental reuse loses its modeled
+#                                    # speedup / bit-identity, 4 concurrent
+#                                    # sessions stop beating 2x one-at-a-time
+#                                    # modeled throughput, or 4 same-dataset
+#                                    # sessions through the shared tile store
+#                                    # cost more than 1.4x one session)
 #   scripts/verify.sh --golden       # golden-frame mode: verifies the
 #                                    # checked-in goldens exist (exits
 #                                    # nonzero if missing, never skips) and
@@ -78,12 +81,14 @@ if [[ "$RUN_BENCH_SMOKE" -eq 1 ]]; then
   # incremental-resynthesis gate (modeled speedup + bit-identity to full
   # resynthesis). Full gates: scripts/bench.sh.
   echo "== rasterizer bench smoke (bench_raster_kernel --smoke) =="
-  cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_raster_kernel bench_incremental bench_service
+  cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_raster_kernel bench_incremental bench_service bench_tile_cache
   "$BUILD_DIR/bench/bench_raster_kernel" --smoke
   echo "== incremental bench smoke (bench_incremental --smoke) =="
   "$BUILD_DIR/bench/bench_incremental" --smoke
   echo "== service bench smoke (bench_service --smoke) =="
   "$BUILD_DIR/bench/bench_service" --smoke
+  echo "== tile-cache bench smoke (bench_tile_cache --smoke) =="
+  "$BUILD_DIR/bench/bench_tile_cache" --smoke
 fi
 
 if [[ "$RUN_TSAN" -eq 1 ]]; then
@@ -91,7 +96,7 @@ if [[ "$RUN_TSAN" -eq 1 ]]; then
   # the pipe/queue machinery are the code where a data race would hide; run
   # exactly those suites instrumented. gtest discovery re-runs each binary,
   # so build only what we need.
-  TSAN_SUITES=(test_scheduling test_synthesizers test_service test_pipe test_util)
+  TSAN_SUITES=(test_scheduling test_synthesizers test_service test_pipe test_tile_store test_util)
   echo "== ThreadSanitizer pass (build-tsan) =="
   cmake --preset tsan
   cmake --build --preset tsan -j "$JOBS" --target "${TSAN_SUITES[@]}"

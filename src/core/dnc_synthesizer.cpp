@@ -9,9 +9,55 @@
 #include <thread>
 #include <utility>
 
+#include "core/tile_store.hpp"
+#include "field/fingerprint.hpp"
+#include "util/hash.hpp"
+
 namespace dcsn::core {
 
 using namespace std::chrono_literals;
+
+namespace {
+
+std::uint64_t fold_pod(const auto& value, std::uint64_t h) {
+  return util::fnv1a(&value, sizeof(value), h);
+}
+
+/// The config component of a TileStore key: every parameter that changes
+/// rendered pixels. Deliberately excluded: spot_count and seed (spots are an
+/// explicit key input), scheduling knobs (processors, pipes, chunking,
+/// stealing, bus/pipe timing models — the lattice makes pixels independent
+/// of all of them), and the tile layout (the key carries the rect itself).
+std::uint64_t hash_pixel_config(const SynthesisConfig& sc,
+                                render::RasterAlgorithm algorithm) {
+  std::uint64_t h = util::kFnv1aOffset;
+  h = fold_pod(sc.texture_width, h);
+  h = fold_pod(sc.texture_height, h);
+  h = fold_pod(sc.spot_radius_px, h);
+  h = fold_pod(static_cast<int>(sc.kind), h);
+  h = fold_pod(sc.ellipse.max_stretch, h);
+  h = fold_pod(sc.bent.mesh_cols, h);
+  h = fold_pod(sc.bent.mesh_rows, h);
+  h = fold_pod(sc.bent.length_px, h);
+  h = fold_pod(sc.bent.trace_substeps, h);
+  h = fold_pod(static_cast<int>(sc.profile_shape), h);
+  h = fold_pod(sc.profile_resolution, h);
+  h = fold_pod(sc.intensity_scale, h);
+  const bool windowed = sc.window.has_value();
+  h = fold_pod(windowed, h);
+  if (windowed) {
+    h = fold_pod(sc.window->x0, h);
+    h = fold_pod(sc.window->y0, h);
+    h = fold_pod(sc.window->x1, h);
+    h = fold_pod(sc.window->y1, h);
+  }
+  // The two raster algorithms are coverage-identical but not bit-identical
+  // (see test_rasterizer.cpp), so they must never share tiles.
+  h = fold_pod(static_cast<int>(algorithm), h);
+  return h;
+}
+
+}  // namespace
 
 // Adapter handed to the Runtime registry. Pool workers may hold a snapshot
 // of the registry from before a frame ended (or before the synthesizer was
@@ -51,6 +97,7 @@ DncSynthesizer::DncSynthesizer(SynthesisConfig synthesis, DncConfig dnc,
   DCSN_CHECK(dnc_.chunk_spots >= 1, "chunk size must be positive");
 
   bus_ = std::make_shared<render::Bus>(dnc_.bus_bytes_per_second);
+  tile_key_config_hash_ = hash_pixel_config(synthesis_, dnc_.raster_algorithm);
 
   // Tiled mode: each pipe renders one region; otherwise each pipe renders
   // the full texture and the partials are blended. The cost-balanced
@@ -187,8 +234,26 @@ FrameStats DncSynthesizer::synthesize(const field::VectorField& f,
   job_generator_ = std::make_unique<SpotGeometryGenerator>(synthesis_, f);
 
   // --- preprocessing: partition the spot collection ---
+  // Probe/fingerprint costs are charged to assign_seconds on purpose: they
+  // are real per-frame preprocessing, and modeled_frame_seconds must not
+  // get them for free.
   const util::Stopwatch assign_watch;
   std::vector<std::int64_t> assigned(static_cast<std::size_t>(dnc_.pipes), 0);
+  // Content-addressed sharing (DncConfig::tile_cache): each tile's key is
+  // derived from the inputs its pixels are a pure function of. A
+  // NaN-poisoned field is uncacheable content — render this frame without
+  // the store rather than share tiles keyed on unstable identity.
+  TileStore* store = nullptr;
+  std::uint64_t field_fp = 0;
+  if (dnc_.tiled && dnc_.tile_cache) {
+    const field::FieldFingerprint fp = field::fingerprint_field(f);
+    if (fp.finite) {
+      store = &runtime_->tile_store();
+      field_fp = fp.hash;
+    }
+  }
+  std::vector<TileKey> tile_keys;
+  std::vector<TileStore::Checkout> checkouts;  // pins released on any exit
   if (dnc_.tiled) {
     // A planned frame keeps the tile grid frozen: the dirty flags were
     // derived against it, and reshaping would invalidate the retained
@@ -196,24 +261,50 @@ FrameStats DncSynthesizer::synthesize(const field::VectorField& f,
     if (plan == nullptr) prepare_tiles(spots);
     job_assignment_ = assign_spots_to_tiles(spots, job_generator_->mapping(),
                                             job_generator_->max_extent_px(), tiles_);
+    tile_keys.resize(static_cast<std::size_t>(dnc_.pipes));
+    checkouts.resize(static_cast<std::size_t>(dnc_.pipes));
     for (int g = 0; g < dnc_.pipes; ++g) {
       Group& group = *groups_[static_cast<std::size_t>(g)];
       group.tile_indices = &job_assignment_.per_tile[static_cast<std::size_t>(g)];
       const auto n = static_cast<std::int64_t>(group.tile_indices->size());
-      group.active =
+      const bool dirty =
           plan == nullptr || plan->tile_dirty[static_cast<std::size_t>(g)] != 0;
+      group.cache_hit = false;
+      if (store != nullptr) {
+        const Tile& tile = tiles_[static_cast<std::size_t>(g)];
+        tile_keys[static_cast<std::size_t>(g)] =
+            TileKey{hash_spot_subset(spots, *group.tile_indices), field_fp,
+                    tile_key_config_hash_, tile.x0, tile.y0, tile.width,
+                    tile.height};
+        if (dirty) {
+          auto& checkout = checkouts[static_cast<std::size_t>(g)];
+          checkout = store->probe(tile_keys[static_cast<std::size_t>(g)]);
+          group.cache_hit = static_cast<bool>(checkout);
+          if (group.cache_hit) {
+            stats.cache_tile_hits += 1;
+            stats.cache_spots_skipped += n;
+          } else {
+            stats.cache_tile_misses += 1;
+          }
+        }
+      }
+      group.active = dirty && !group.cache_hit;
       if (group.active) {
         group.total_items = n;
         group.work->reset(n);
         assigned[static_cast<std::size_t>(g)] = n;
         stats.spots_submitted += n;
       } else {
-        // Clean tile: identical spot set as last frame, nothing to do. The
-        // group's participants still act as thieves for dirty groups.
+        // Clean tile (identical spot set as last frame) or cache hit
+        // (identical content already rendered, possibly by another
+        // session): nothing to generate or rasterize. The group's
+        // participants still act as thieves for dirty groups.
         group.total_items = 0;
         group.work->reset(0);
-        stats.tiles_reused += 1;
-        stats.spots_skipped += n;
+        if (!group.cache_hit) {
+          stats.tiles_reused += 1;
+          stats.spots_skipped += n;
+        }
       }
     }
     stats.duplicated_spots = job_assignment_.duplicates;
@@ -230,6 +321,7 @@ FrameStats DncSynthesizer::synthesize(const field::VectorField& f,
       group.total_items = share;
       group.work->reset(share);
       group.active = true;
+      group.cache_hit = false;
       assigned[static_cast<std::size_t>(g)] = share;
     }
     stats.spots_submitted = n;
@@ -314,17 +406,54 @@ FrameStats DncSynthesizer::synthesize(const field::VectorField& f,
     // The retention compose, streamed: only active pipes cross the bus and
     // are copied into place, one at a time (no staging of all partials);
     // clean tiles of an incremental frame keep their retained region of
-    // final_ untouched. render::compose_tiles_masked implements the same
-    // merge for callers that already hold materialized tiles.
+    // final_ untouched, and cache-hit tiles compose the store's pinned
+    // pixels directly (no readback, no staging copy).
+    // render::compose_tiles_masked implements the same merge for callers
+    // that already hold materialized tiles.
+    //
+    // Publishes happen here and only here — after the frame-failure check
+    // above — and each insert is atomic under its shard lock, so a failed
+    // or canceled frame contributes nothing to the store: other sessions
+    // can never observe a partial tile.
     for (int g = 0; g < dnc_.pipes; ++g) {
       Group& group = *groups_[static_cast<std::size_t>(g)];
-      if (!group.active) continue;
       const Tile& tile = tiles_[static_cast<std::size_t>(g)];
+      const TileKey* key =
+          store != nullptr ? &tile_keys[static_cast<std::size_t>(g)] : nullptr;
+      auto account_publish = [&](TileStore::PublishOutcome outcome) {
+        if (outcome.inserted) stats.cache_tiles_published += 1;
+        stats.cache_evictions += outcome.evicted;
+      };
+      if (group.cache_hit) {
+        auto& checkout = checkouts[static_cast<std::size_t>(g)];
+        final_.copy_rect_from(checkout.pixels(), tile.x0, tile.y0);
+        stats.cache_hit_bytes += checkout.pixels().byte_size();
+        checkout.reset();  // unpin as soon as the pixels are composed
+        continue;
+      }
+      if (!group.active) {
+        // Retained clean tile. Its pixels already sit in final_; publish
+        // them on a miss so a long-lived incremental session still seeds
+        // the store for other sessions ("a clean miss publishes after
+        // commit").
+        if (key != nullptr && !store->contains(*key)) {
+          render::Framebuffer copy = buffers.acquire(tile.width, tile.height);
+          final_.extract_rect_into(copy, tile.x0, tile.y0);
+          account_publish(store->publish(*key, std::move(copy)));
+        }
+        continue;
+      }
       render::Framebuffer part = buffers.acquire(tile.width, tile.height);
       group.pipe->read_back_into(part);
       final_.copy_rect_from(part, tile.x0, tile.y0);
       stats.readback_bytes += part.byte_size();
-      buffers.release(std::move(part));
+      if (key != nullptr) {
+        // Zero-copy publish: the store takes the readback buffer itself
+        // (and recycles it into the same pool on duplicate/reject).
+        account_publish(store->publish(*key, std::move(part)));
+      } else {
+        buffers.release(std::move(part));
+      }
     }
   } else {
     final_.clear();

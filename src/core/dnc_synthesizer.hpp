@@ -117,6 +117,15 @@ struct DncConfig {
   /// reproduces the static partition (the bench_ablation_balance baseline);
   /// off also pins each producer to its affinity group.
   bool steal = true;
+  /// Tiled mode only: memoize rendered tiles in the runtime's process-wide
+  /// core::TileStore, keyed by content (spot subset, field fingerprint,
+  /// raster config, tile rect). A dirty tile probes the store before
+  /// regenerating; freshly rendered and retained-clean tiles are published
+  /// back. Because the store is shared across every session of the runtime,
+  /// N sessions browsing the same dataset rasterize each tile once —
+  /// bit-identically to the uncached path (the PR 4 lattice guarantees a
+  /// tile's pixels are a pure function of the key).
+  bool tile_cache = false;
 };
 
 /// Everything measured about one synthesized frame. The benches derive the
@@ -143,6 +152,17 @@ struct FrameStats {
   // retains the previous frame's bit-exact pixels.
   std::int64_t tiles_reused = 0;   ///< clean tiles served from retention
   std::int64_t spots_skipped = 0;  ///< assignments not generated/rendered
+
+  // Content-addressed tile cache accounting (DncConfig::tile_cache engines;
+  // see core::TileStore). A cache hit skips clear, generation,
+  // rasterization and readback like a retained tile, but the pixels come
+  // from the shared store — possibly rendered by another session.
+  std::int64_t cache_tile_hits = 0;    ///< dirty tiles served from the store
+  std::int64_t cache_tile_misses = 0;  ///< probed tiles that had to render
+  std::int64_t cache_tiles_published = 0;  ///< tiles this frame inserted
+  std::int64_t cache_evictions = 0;  ///< entries this frame's publishes evicted
+  std::int64_t cache_spots_skipped = 0;  ///< assignments served by hits
+  std::uint64_t cache_hit_bytes = 0;  ///< pixel bytes composed from the store
 
   /// Largest |pixel| of the frame — the canary for the contribution
   /// lattice's exact-summation budget (util::simd::kContributionExactBound,
@@ -260,6 +280,10 @@ class DncSynthesizer {
     /// nothing (participants still steal for dirty groups) and the gather
     /// retains its texture region.
     bool active = true;
+    /// This frame's tile was served from the shared TileStore: like a clean
+    /// tile the group renders nothing, but the gather composes the pinned
+    /// cache pixels instead of retaining final_'s region.
+    bool cache_hit = false;
     /// The master role for this group has started; only then may producers
     /// claim from its counter (a blocked inbox push needs a live consumer).
     std::atomic<bool> master_running{false};
@@ -339,6 +363,10 @@ class DncSynthesizer {
   SynthesisConfig synthesis_;
   DncConfig dnc_;
   Runtime* runtime_;
+  /// Hash of every pixel-affecting synthesis/raster parameter — the
+  /// config component of this engine's TileStore keys (computed once;
+  /// excludes inputs like the spot seed that enter through the spot list).
+  std::uint64_t tile_key_config_hash_ = 0;
 
   std::shared_ptr<render::Bus> bus_;
   std::vector<Tile> tiles_;            ///< one per group in tiled mode

@@ -23,7 +23,11 @@ PipeLease::~PipeLease() {
 }
 
 Runtime::Runtime(RuntimeConfig config)
-    : config_(config), framebuffers_(config.max_idle_framebuffers) {
+    : config_(config),
+      framebuffers_(config.max_idle_framebuffers),
+      tile_store_(TileStore::Config{.max_bytes = config.tile_cache_bytes,
+                                    .shards = config.tile_cache_shards,
+                                    .recycle = &framebuffers_}) {
   if (config_.workers > 0) ensure_workers(config_.workers);
 }
 

@@ -51,6 +51,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/tile_store.hpp"
 #include "render/framebuffer_pool.hpp"
 #include "render/pipe.hpp"
 
@@ -66,6 +67,12 @@ struct RuntimeConfig {
   std::size_t max_idle_pipes = 16;
   /// Released framebuffers retained by the shared pool.
   std::size_t max_idle_framebuffers = 64;
+  /// Byte budget of the shared content-addressed tile cache (see
+  /// core::TileStore). Sessions opt in per engine via DncConfig::tile_cache;
+  /// the store itself is process-wide so sessions share rendered tiles.
+  std::size_t tile_cache_bytes = 256u << 20;
+  /// Lock shards of the tile cache.
+  std::size_t tile_cache_shards = 8;
 };
 
 class Runtime;
@@ -176,6 +183,13 @@ class Runtime {
 
   [[nodiscard]] render::FramebufferPool& framebuffers() { return framebuffers_; }
 
+  /// The process-wide content-addressed tile cache. Engines with
+  /// DncConfig::tile_cache probe it before rendering a dirty tile and
+  /// publish freshly rendered tiles back; because every session of this
+  /// runtime shares the one store, a tile rendered by any session serves
+  /// them all (bit-identically — see core/tile_store.hpp).
+  [[nodiscard]] TileStore& tile_store() { return tile_store_; }
+
   /// Pipes constructed because no pooled pipe matched (pool telemetry).
   [[nodiscard]] std::int64_t pipes_created() const;
   /// Checkouts served by reusing a pooled pipe.
@@ -210,6 +224,7 @@ class Runtime {
   std::int64_t pipes_reused_ = 0;
 
   render::FramebufferPool framebuffers_;
+  TileStore tile_store_;  // recycles into framebuffers_: declared after it
 
   std::vector<std::jthread> workers_;  // joined in ~Runtime after stop_
 };

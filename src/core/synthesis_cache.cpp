@@ -7,21 +7,6 @@
 
 namespace dcsn::core {
 
-std::array<field::Vec2, SynthesisCache::kFieldProbes> SynthesisCache::probe_field(
-    const field::VectorField& f) {
-  // Fixed fractional positions, deliberately irregular so axis-aligned
-  // structure in the data cannot make distinct fields alias on every probe.
-  static constexpr double kAt[kFieldProbes][2] = {
-      {0.13, 0.29}, {0.71, 0.17}, {0.41, 0.83}, {0.89, 0.61},
-      {0.07, 0.93}, {0.53, 0.47}, {0.31, 0.11}, {0.97, 0.37}};
-  const field::Rect d = f.domain();
-  std::array<field::Vec2, kFieldProbes> out;
-  for (std::size_t i = 0; i < kFieldProbes; ++i) {
-    out[i] = f.sample({d.x0 + kAt[i][0] * d.width(), d.y0 + kAt[i][1] * d.height()});
-  }
-  return out;
-}
-
 SynthesisCache::Decision SynthesisCache::plan(const DncSynthesizer& engine,
                                               const field::VectorField& f,
                                               std::span<const SpotInstance> spots) {
@@ -31,12 +16,15 @@ SynthesisCache::Decision SynthesisCache::plan(const DncSynthesizer& engine,
     planned_streak_ = 0;
     return d;
   }
-  // Field probes: a swapped field object, or one whose domain, extremes or
-  // probed vector values moved, changes spot geometry everywhere. An exact
-  // Vec2 comparison on purpose — and a NaN probe never equals itself, so a
-  // poisoned field conservatively renders full frames.
-  if (&f != field_ || !(f.domain() == domain_) ||
-      f.max_magnitude() != max_magnitude_ || probe_field(f) != probes_) {
+  // Field guard: a swapped field object invalidates on identity, and a
+  // field whose content fingerprint moved (domain, extremes or any grid
+  // sample — raw bytes, exact) changes spot geometry everywhere. The
+  // fingerprint is the same one TileStore keys tiles by, so the two caches
+  // agree on what "same field" means. A non-finite fingerprint is rejected
+  // outright: NaN content has stable hash bytes but no trustworthy
+  // identity.
+  const field::FieldFingerprint fp = field::fingerprint_field(f);
+  if (&f != field_ || !fp.finite || fp != fingerprint_) {
     valid_ = false;
     planned_streak_ = 0;
     return d;
@@ -80,9 +68,7 @@ void SynthesisCache::commit(const DncSynthesizer& engine,
   spots_ = std::move(spots);
   tiles_.assign(engine.tiles().begin(), engine.tiles().end());
   field_ = &f;
-  domain_ = f.domain();
-  max_magnitude_ = f.max_magnitude();
-  probes_ = probe_field(f);
+  fingerprint_ = field::fingerprint_field(f);
   engine_serial_ = engine.frame_serial();
   valid_ = engine.dnc_config().tiled;
 }

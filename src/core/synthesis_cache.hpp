@@ -16,17 +16,21 @@
 // could be unsound:
 //   * explicit invalidate(): REQUIRED whenever field contents change in
 //     place — steering updates, or a time-varying dataset reloaded into
-//     the same object. The automatic probes below are point samples; they
-//     make accidental aliasing unlikely but cannot see every localized
-//     in-place write, so the contract puts in-place mutation on the
-//     caller;
-//   * field change probes: a different field object, domain, maximum
-//     magnitude, or vector value at any of a fixed set of probe points
-//     invalidates automatically. The probes make the check contentful — a
-//     per-frame field allocation that recycles the previous frame's
-//     address cannot slip through on its identity alone — but they are
-//     still samples, which is why in-place steering mutation additionally
-//     requires the explicit invalidate();
+//     the same object. The automatic fingerprint below samples a dense
+//     fixed grid; it makes accidental aliasing very unlikely but still
+//     cannot see every localized in-place write, so the contract puts
+//     in-place mutation on the caller;
+//   * field fingerprint: a different field object invalidates on identity,
+//     and a field whose content fingerprint (field::fingerprint_field — a
+//     full FNV-1a hash over the domain, the maximum magnitude and a
+//     16x16 sample grid, the same fingerprint core::TileStore keys tiles
+//     by) moved invalidates automatically. The fingerprint makes the check
+//     contentful — a per-frame field allocation that recycles the previous
+//     frame's address cannot slip through on its identity alone (the
+//     aliasing regression in tests/test_incremental.cpp pins a localized
+//     edit the old 8-point probes missed) — but it is still sampled, which
+//     is why in-place steering mutation additionally requires the explicit
+//     invalidate();
 //   * engine serial mismatch: every synthesize() bumps a serial; if the
 //     engine rendered any frame the cache did not commit (another caller,
 //     or a failed frame), the final texture's retained regions can no
@@ -49,12 +53,12 @@
 // — their layout is static, so a forced full frame would buy nothing.
 #pragma once
 
-#include <array>
 #include <span>
 #include <vector>
 
 #include "core/dnc_synthesizer.hpp"
 #include "core/frame_delta.hpp"
+#include "field/fingerprint.hpp"
 
 namespace dcsn::core {
 
@@ -92,19 +96,15 @@ class SynthesisCache {
   int rebalance_interval = 64;
 
  private:
-  static constexpr std::size_t kFieldProbes = 8;
-  /// Samples the field at fixed fractional positions of its domain — the
-  /// content part of the field-change probe.
-  [[nodiscard]] static std::array<field::Vec2, kFieldProbes> probe_field(
-      const field::VectorField& f);
-
   bool valid_ = false;
   std::vector<SpotInstance> spots_;  ///< last committed population
   std::vector<Tile> tiles_;          ///< tile grid it was rendered with
   const field::VectorField* field_ = nullptr;
-  field::Rect domain_{};
-  double max_magnitude_ = 0.0;
-  std::array<field::Vec2, kFieldProbes> probes_{};
+  /// Content fingerprint of the committed field (domain + extremes + grid
+  /// samples; see field/fingerprint.hpp). plan() rejects non-finite
+  /// fingerprints outright, so a NaN-poisoned field conservatively renders
+  /// full frames — the same behavior the old NaN-never-equal probes had.
+  field::FieldFingerprint fingerprint_{};
   std::int64_t engine_serial_ = -1;
   int planned_streak_ = 0;  ///< consecutive incremental plans since a full frame
 };

@@ -122,6 +122,14 @@ class SynthesisService {
   [[nodiscard]] int pending_jobs() const;
   [[nodiscard]] Runtime& runtime() const { return *runtime_; }
 
+  /// Snapshot of the runtime's shared content-addressed tile cache (see
+  /// core::TileStore). Sessions opted in via DncConfig::tile_cache publish
+  /// and probe the same store, so these counters are how a deployment
+  /// observes cross-session sharing actually happening.
+  [[nodiscard]] TileStore::Stats tile_cache_stats() const {
+    return runtime_->tile_store().stats();
+  }
+
  private:
   enum class JobState { kPending, kRunning, kDone };
 

@@ -1,0 +1,45 @@
+#include "field/fingerprint.hpp"
+
+#include <cmath>
+
+#include "util/hash.hpp"
+
+namespace dcsn::field {
+
+namespace {
+
+/// Folds a double's raw bytes into the running hash, tracking finiteness.
+/// Raw bytes, not a rounded form: the engine's pixels are an exact function
+/// of these values, so the fingerprint must distinguish everything the
+/// renderer would.
+std::uint64_t fold(double value, std::uint64_t h, bool& finite) {
+  finite = finite && std::isfinite(value);
+  return util::fnv1a(&value, sizeof(value), h);
+}
+
+}  // namespace
+
+FieldFingerprint fingerprint_field(const VectorField& f) {
+  constexpr int kN = kFingerprintGridResolution;
+  const Rect d = f.domain();
+  bool finite = true;
+  std::uint64_t h = util::kFnv1aOffset;
+  h = fold(d.x0, h, finite);
+  h = fold(d.y0, h, finite);
+  h = fold(d.width(), h, finite);
+  h = fold(d.height(), h, finite);
+  h = fold(f.max_magnitude(), h, finite);
+  for (int j = 0; j < kN; ++j) {
+    const double fy = (j + 0.5) / kN;
+    for (int i = 0; i < kN; ++i) {
+      const double fx = (i + 0.5) / kN;
+      const Vec2 v =
+          f.sample({d.x0 + fx * d.width(), d.y0 + fy * d.height()});
+      h = fold(v.x, h, finite);
+      h = fold(v.y, h, finite);
+    }
+  }
+  return {h, finite};
+}
+
+}  // namespace dcsn::field

@@ -1,0 +1,53 @@
+// Content fingerprint of a vector field: the identity half of every
+// field-dependent cache key in the system.
+//
+// Two consumers share this fingerprint, and sharing it is the point:
+//
+//   * core::SynthesisCache guards temporal reuse with it — a per-frame field
+//     allocation that recycles the previous frame's address, or an in-place
+//     dataset reload, must not slip through on pointer identity;
+//   * core::TileStore folds it into the content-addressed tile key, so two
+//     sessions share cached tiles exactly when their fields agree on the
+//     fingerprint.
+//
+// The fingerprint hashes the domain rectangle, the maximum magnitude, and
+// the raw vector bytes sampled on a fixed kGridResolution x kGridResolution
+// grid of fractional domain positions (cell centers, so no sample sits on a
+// boundary special case). It is a *sampled* identity, not a proof: two
+// fields that agree on all 256 samples, the domain and the extremes are
+// treated as the same content. For the gridded datasets the paper's
+// applications read (curvilinear meshes bilinearly interpolated), agreeing
+// on a 16x16 probe lattice while differing elsewhere requires an
+// adversarially localized edit — which is why in-place *steering* mutation
+// still carries an explicit SynthesisCache::invalidate() contract, and why
+// the grid is dense where the old 8-point probes were sparse.
+//
+// NaN poisoning: a non-finite sample (or domain/max_magnitude) sets
+// `finite` false. Hash bytes of a NaN are stable, so without the flag a
+// poisoned field would *hit* caches; consumers instead treat non-finite
+// fields as uncacheable and fall back to full, unshared renders.
+#pragma once
+
+#include <cstdint>
+
+#include "field/vector_field.hpp"
+
+namespace dcsn::field {
+
+struct FieldFingerprint {
+  std::uint64_t hash = 0;
+  /// False when any probed value (domain, max magnitude, grid sample) is
+  /// non-finite; such a field must not be treated as cacheable content.
+  bool finite = false;
+
+  bool operator==(const FieldFingerprint&) const = default;
+};
+
+/// Samples per axis of the fingerprint grid (kGridResolution^2 samples).
+inline constexpr int kFingerprintGridResolution = 16;
+
+/// FNV-1a fingerprint of `f`'s content as seen through the sample grid.
+/// Deterministic: same field content, same hash, on any host.
+[[nodiscard]] FieldFingerprint fingerprint_field(const VectorField& f);
+
+}  // namespace dcsn::field

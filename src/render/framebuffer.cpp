@@ -48,6 +48,17 @@ void Framebuffer::copy_rect_from(const Framebuffer& src, int x0, int y0) {
   }
 }
 
+void Framebuffer::extract_rect_into(Framebuffer& dst, int x0, int y0) const {
+  DCSN_CHECK(x0 >= 0 && y0 >= 0 && x0 + dst.width_ <= width_ &&
+                 y0 + dst.height_ <= height_,
+             "extracted rect must lie inside the source");
+  for (int y = 0; y < dst.height_; ++y) {
+    const auto src_row = pixels().row(y + y0);
+    std::copy(src_row.begin() + x0, src_row.begin() + x0 + dst.width_,
+              dst.pixels().row(y).begin());
+  }
+}
+
 float Framebuffer::max_abs_diff(const Framebuffer& other) const {
   DCSN_CHECK(other.width_ == width_ && other.height_ == height_,
              "max_abs_diff requires equal framebuffer sizes");

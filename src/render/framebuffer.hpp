@@ -51,6 +51,12 @@ class Framebuffer {
   /// Copies `src` into this buffer at offset (x0, y0) (tile composition).
   void copy_rect_from(const Framebuffer& src, int x0, int y0);
 
+  /// The inverse of copy_rect_from: copies the rect at (x0, y0) with `dst`'s
+  /// dimensions out of this buffer into `dst` (tile extraction — how the
+  /// incremental engine publishes a retained clean tile to the tile store
+  /// without re-reading the pipe).
+  void extract_rect_into(Framebuffer& dst, int x0, int y0) const;
+
   /// FNV-1a fingerprint of dimensions + raw pixel bits. The engine renders
   /// bit-deterministically, so this is the stable frame identity the golden
   /// suite checks in (tests/golden/).

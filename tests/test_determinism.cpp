@@ -31,8 +31,10 @@
 #include <vector>
 
 #include "core/dnc_synthesizer.hpp"
+#include "core/runtime.hpp"
 #include "core/serial_synthesizer.hpp"
 #include "core/spot_source.hpp"
+#include "core/tile_store.hpp"
 #include "field/analytic.hpp"
 #include "util/rng.hpp"
 
@@ -217,6 +219,74 @@ TEST(Determinism, ReferenceAlgorithmIsDeterministicToo) {
   EXPECT_EQ(one_pipe, run(scene, dnc));
   dnc.tiled = true;
   EXPECT_EQ(one_pipe, run(scene, dnc));
+}
+
+// ------------------------------------------------ content-addressed cache ---
+
+TEST(Determinism, TileCacheOnOffDoesNotChangeBits) {
+  // The content-addressed TileStore (DncConfig::tile_cache) must be
+  // bit-invisible: cold frames (publishing), warm frames (every tile served
+  // from the store) and uncached frames all produce the same texture —
+  // across pipe counts and both tile strategies. Each configuration gets a
+  // private Runtime so its store starts cold.
+  const Scene scene = make_scene(core::SpotKind::kBent);
+  DncConfig dnc = base_config();
+  dnc.tiled = true;
+  dnc.pipes = 4;
+  const render::Framebuffer reference = run(scene, dnc);
+
+  for (const int pipes : {2, 4}) {
+    for (const TileStrategy strategy :
+         {TileStrategy::kGrid, TileStrategy::kCostBalanced}) {
+      core::Runtime runtime({.workers = 4});
+      DncConfig cached = dnc;
+      cached.pipes = pipes;
+      cached.tile_strategy = strategy;
+      cached.tile_cache = true;
+      DncSynthesizer engine(scene.synthesis, cached, runtime);
+      const core::FrameStats cold = engine.synthesize(*scene.field, scene.spots);
+      EXPECT_EQ(reference, engine.texture())
+          << pipes << " pipes, strategy " << static_cast<int>(strategy)
+          << " (cold)";
+      EXPECT_EQ(cold.cache_tiles_published, pipes);
+      const core::FrameStats warm = engine.synthesize(*scene.field, scene.spots);
+      EXPECT_EQ(reference, engine.texture())
+          << pipes << " pipes, strategy " << static_cast<int>(strategy)
+          << " (warm)";
+      EXPECT_EQ(warm.cache_tile_hits, pipes);
+    }
+  }
+}
+
+TEST(Determinism, TileCacheThrashingDoesNotChangeBits) {
+  // A store too small for even one frame's tiles: every publish evicts a
+  // sibling mid-run and most probes miss. Constant eviction churn must be
+  // just as bit-invisible as a perfectly warm cache.
+  const Scene scene = make_scene(core::SpotKind::kEllipse);
+  DncConfig dnc = base_config();
+  dnc.tiled = true;
+  dnc.pipes = 4;
+  const render::Framebuffer reference = run(scene, dnc);
+
+  // 96x96 over 4 grid tiles = 48x48 tiles of 9216 bytes; budget two tiles
+  // across two shards so publishes constantly displace each other.
+  core::Runtime runtime(
+      {.workers = 4, .tile_cache_bytes = 2 * 48 * 48 * sizeof(float),
+       .tile_cache_shards = 2});
+  dnc.tile_cache = true;
+  DncSynthesizer a(scene.synthesis, dnc, runtime);
+  DncSynthesizer b(scene.synthesis, dnc, runtime);
+  std::int64_t evictions = 0;
+  for (int frame = 0; frame < 4; ++frame) {
+    const core::FrameStats sa = a.synthesize(*scene.field, scene.spots);
+    const core::FrameStats sb = b.synthesize(*scene.field, scene.spots);
+    evictions += sa.cache_evictions + sb.cache_evictions;
+    EXPECT_EQ(reference, a.texture()) << "engine a, frame " << frame;
+    EXPECT_EQ(reference, b.texture()) << "engine b, frame " << frame;
+  }
+  EXPECT_GT(evictions, 0) << "budget did not actually thrash";
+  EXPECT_LE(runtime.tile_store().stats().bytes,
+            runtime.tile_store().stats().budget_bytes);
 }
 
 // ------------------------------------------------- cross-session sharing ---

@@ -15,9 +15,12 @@
 #include "core/dnc_synthesizer.hpp"
 #include "core/frame_delta.hpp"
 #include "core/perf_model.hpp"
+#include "core/runtime.hpp"
 #include "core/spot_source.hpp"
 #include "core/synthesis_cache.hpp"
+#include "core/tile_store.hpp"
 #include "field/analytic.hpp"
+#include "field/fingerprint.hpp"
 #include "particles/particle_system.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
@@ -220,6 +223,100 @@ TEST(IncrementalFuzz, CostBalancedTilesFreezeDuringReuse) {
   fuzz_sequence(dnc, 7, 25, 0.05, true);
 }
 
+// ------------------------------------- content-addressed cache + planning ---
+
+// Same protocol as fuzz_sequence, but the incremental engine also runs the
+// content-addressed TileStore (DncConfig::tile_cache) on a private Runtime
+// with the given byte budget, stacking both reuse layers: planned-clean
+// tiles are retained, dirty tiles are probed against the store before
+// re-rendering. The oracle stays a plain uncached full re-render. Forced
+// invalidations matter here: the all-dirty full frame that follows probes
+// every tile. The population holds still on the frame before each
+// invalidation, so those probes find the tiles the previous frame
+// published — deterministic store hits rather than luck.
+struct CachedFuzzTotals {
+  std::int64_t hits = 0;
+  std::int64_t evictions = 0;
+};
+
+CachedFuzzTotals cached_fuzz_sequence(DncConfig dnc, std::uint64_t seed,
+                                      int frames, double churn,
+                                      std::size_t cache_bytes) {
+  const SynthesisConfig sc = small_synthesis();
+  const auto field = make_field();
+  core::Runtime runtime({.workers = 4,
+                         .tile_cache_bytes = cache_bytes,
+                         .tile_cache_shards = 2});
+  DncConfig cached_cfg = dnc;
+  cached_cfg.tile_cache = true;
+  DncSynthesizer full(sc, dnc);
+  DncSynthesizer incremental(sc, cached_cfg, runtime);
+  SynthesisCache cache;
+
+  CachedFuzzTotals totals;
+  util::Rng rng(seed);
+  std::vector<SpotInstance> spots = random_spots(rng, sc.spot_count);
+  for (int frame = 0; frame < frames; ++frame) {
+    if (frame % 17 == 11) cache.invalidate();
+
+    const SynthesisCache::Decision d = cache.plan(incremental, *field, spots);
+    const core::FrameStats stats =
+        incremental.synthesize(*field, spots, d.incremental ? &d.plan : nullptr);
+    cache.commit(incremental, *field, std::vector<SpotInstance>(spots));
+    full.synthesize(*field, spots);
+
+    EXPECT_EQ(full.texture(), incremental.texture())
+        << "frame " << frame << " diverged (seed " << seed << ", budget "
+        << cache_bytes << ")";
+    totals.hits += stats.cache_tile_hits;
+    totals.evictions += stats.cache_evictions;
+    EXPECT_LE(runtime.tile_store().stats().bytes,
+              runtime.tile_store().stats().budget_bytes);
+
+    if (frame % 17 == 10) continue;  // freeze before the forced invalidation
+    for (auto& s : spots) {
+      if (rng.uniform() < churn) {
+        s.position.x += rng.uniform(-0.05, 0.05);
+        s.position.y += rng.uniform(-0.05, 0.05);
+      }
+    }
+    if (rng.uniform() < 0.25 && spots.size() > 50) {
+      spots.resize(spots.size() - 1 - static_cast<std::size_t>(rng.uniform() * 4));
+    } else if (rng.uniform() < 0.25) {
+      const auto born = static_cast<std::int64_t>(1 + rng.uniform() * 4);
+      for (std::int64_t k = 0; k < born; ++k) {
+        spots.push_back({{rng.uniform(kDomain.x0, kDomain.x1),
+                          rng.uniform(kDomain.y0, kDomain.y1)},
+                         0.2 * rng.intensity()});
+      }
+    }
+  }
+  return totals;
+}
+
+TEST(CachedIncrementalFuzz, StackedWithPlanningMatchesUncachedOracle) {
+  // Roomy budget: nothing evicts, and invalidation-forced full frames must
+  // actually come back from the store.
+  const CachedFuzzTotals totals =
+      cached_fuzz_sequence(tiled_config(4), 4242, 40, 0.04, 1u << 20);
+  EXPECT_GT(totals.hits, 0) << "the store never served a tile";
+  EXPECT_EQ(totals.evictions, 0);
+}
+
+TEST(CachedIncrementalFuzz, MidRunEvictionsStayBitInvisible) {
+  // Two 32x32 tiles' worth of budget for a 4-tile frame: publishes evict
+  // mid-sequence every frame, so probes race real churn. Still exact.
+  const CachedFuzzTotals totals = cached_fuzz_sequence(
+      tiled_config(4), 777, 30, 0.04, 2u * 32u * 32u * sizeof(float));
+  EXPECT_GT(totals.evictions, 0) << "budget did not actually thrash";
+}
+
+TEST(CachedIncrementalFuzz, CostBalancedStrategyStaysExact) {
+  DncConfig dnc = tiled_config(4);
+  dnc.tile_strategy = core::TileStrategy::kCostBalanced;
+  cached_fuzz_sequence(dnc, 31337, 25, 0.05, 1u << 20);
+}
+
 // --------------------------------------------------- cache invalidation ---
 
 TEST(SynthesisCache, FullFrameOnFirstUseAndAfterInvalidate) {
@@ -267,6 +364,41 @@ TEST(SynthesisCache, FieldChangeInvalidates) {
   cache.commit(engine, *field, std::vector<SpotInstance>(spots));
   const auto other = make_field();  // different object, same values
   EXPECT_FALSE(cache.plan(engine, *other, spots).incremental);
+}
+
+TEST(SynthesisCache, InPlaceFieldMutationInvalidates) {
+  // Aliasing regression for the old 8-point probe: the field object is
+  // mutated IN PLACE — same address, so the identity check passes — and the
+  // change is confined to a 0.05-radius disc placed on a fingerprint grid
+  // sample but away from every legacy probe coordinate (nearest was ~0.98
+  // domain units). Only the full 16x16 content grid can catch it; under the
+  // probe scheme this exact sequence served stale tiles.
+  const SynthesisConfig sc = small_synthesis();
+  double bump = 0.0;
+  constexpr double kCenterX = 1.375;  // grid sample (5, 9) of the 16x16 grid
+  constexpr double kCenterY = 2.375;
+  field::CallableField field(
+      [&bump](field::Vec2 p) -> field::Vec2 {
+        const double dx = p.x - kCenterX;
+        const double dy = p.y - kCenterY;
+        if (dx * dx + dy * dy > 0.0025) return {0.0, 0.0};
+        return {bump, 0.0};
+      },
+      kDomain, 0.6);
+
+  DncSynthesizer engine(sc, tiled_config(4));
+  SynthesisCache cache;
+  util::Rng rng(5);
+  const auto spots = random_spots(rng, sc.spot_count);
+  engine.synthesize(field, spots);
+  cache.commit(engine, field, std::vector<SpotInstance>(spots));
+  ASSERT_TRUE(cache.plan(engine, field, spots).incremental);
+
+  const field::FieldFingerprint before = field::fingerprint_field(field);
+  bump = 0.5;  // in-place content change, address unchanged
+  const field::FieldFingerprint after = field::fingerprint_field(field);
+  EXPECT_NE(before.hash, after.hash);
+  EXPECT_FALSE(cache.plan(engine, field, spots).incremental);
 }
 
 TEST(SynthesisCache, NonTiledEngineAlwaysFull) {

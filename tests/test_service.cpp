@@ -360,6 +360,120 @@ TEST(SynthesisService, ExceptionInOneSessionDoesNotPoisonOthers) {
             expected);
 }
 
+// ------------------------------------------- cross-session tile sharing ---
+
+TEST(SynthesisService, SecondSessionOnSameDatasetHitsTheSharedTileStore) {
+  // Two sessions, same dataset, both opted into DncConfig::tile_cache, on a
+  // private runtime whose store starts cold. The first session rasterizes
+  // and publishes every tile; the second must render NOTHING — every tile
+  // served from the shared store — and still hash identically to an
+  // uncached solo engine. This is the tentpole's end-to-end claim: N
+  // sessions browsing one dataset pay for rasterization once.
+  const Rect domain{0, 0, 2, 2};
+  const auto f = field::analytic::taylor_green(1.0, domain);
+  const auto config = small_config();
+  const auto spots = test_spots(config, domain);
+  core::DncConfig dnc = small_dnc();
+  dnc.tiled = true;
+  dnc.pipes = 2;
+  dnc.tile_cache = true;
+
+  core::DncConfig uncached = dnc;
+  uncached.tile_cache = false;
+  core::DncSynthesizer solo(config, uncached);
+  solo.synthesize(*f, spots);
+  const std::uint64_t expected = solo.texture().content_hash();
+
+  core::Runtime runtime({.workers = 2});
+  SynthesisService service({.drivers = 2}, runtime);
+  const auto first = service.open_session(config, dnc);
+  const auto second = service.open_session(config, dnc);
+
+  auto request = [&] {
+    core::SynthesisRequest req;
+    req.field = f.get();
+    req.spots = spots;
+    return req;
+  };
+  const core::SynthesisResult r1 = service.submit(first, request()).result.get();
+  EXPECT_EQ(r1.content_hash, expected);
+  EXPECT_EQ(r1.stats.cache_tile_hits, 0);
+  EXPECT_EQ(r1.stats.cache_tile_misses, dnc.pipes);
+  EXPECT_EQ(r1.stats.cache_tiles_published, dnc.pipes);
+
+  const core::SynthesisResult r2 = service.submit(second, request()).result.get();
+  EXPECT_EQ(r2.content_hash, expected)
+      << "a store-served frame must be bit-identical to the solo render";
+  EXPECT_EQ(r2.stats.cache_tile_hits, dnc.pipes);
+  EXPECT_EQ(r2.stats.spots_submitted, 0)
+      << "the second session should not have rendered a single spot";
+  EXPECT_EQ(r2.stats.cache_hit_bytes,
+            static_cast<std::uint64_t>(config.texture_width) *
+                static_cast<std::uint64_t>(config.texture_height) *
+                sizeof(float));
+
+  const core::TileStore::Stats stats = service.tile_cache_stats();
+  EXPECT_EQ(stats.hits, dnc.pipes);
+  EXPECT_EQ(stats.inserts, dnc.pipes);
+  EXPECT_EQ(stats.entries, dnc.pipes);
+  EXPECT_LE(stats.bytes, stats.budget_bytes);
+}
+
+TEST(SynthesisService, FailedFrameNeverPublishesPartialTiles) {
+  // A field that survives the 256-sample fingerprint pass, then throws
+  // mid-generation: the job fails through the ticket, and the shared store
+  // must be exactly as empty as before — publishes happen only in the
+  // sequential gather, after the frame-failure check. The session then
+  // recovers and publishes a full, correct frame.
+  const Rect domain{0, 0, 2, 2};
+  const auto good = field::analytic::taylor_green(1.0, domain);
+  auto samples = std::make_shared<std::atomic<std::int64_t>>(0);
+  const field::CallableField late_fault(
+      [samples](field::Vec2 p) -> field::Vec2 {
+        if (samples->fetch_add(1) > 300) {
+          throw util::Error("injected mid-generation failure");
+        }
+        return {0.2 * p.y, -0.2 * p.x};
+      },
+      domain, 1.0);
+
+  const auto config = small_config();
+  const auto spots = test_spots(config, domain);
+  core::DncConfig dnc = small_dnc();
+  dnc.tiled = true;
+  dnc.pipes = 2;
+  dnc.tile_cache = true;
+
+  core::Runtime runtime({.workers = 2});
+  SynthesisService service({.drivers = 1}, runtime);
+  const auto id = service.open_session(config, dnc);
+
+  core::SynthesisRequest fail_req;
+  fail_req.field = &late_fault;
+  fail_req.spots = spots;
+  auto ticket = service.submit(id, std::move(fail_req));
+  EXPECT_THROW((void)ticket.result.get(), util::Error);
+  EXPECT_GT(samples->load(), 300) << "the fault was meant to fire mid-frame";
+
+  core::TileStore::Stats stats = service.tile_cache_stats();
+  EXPECT_EQ(stats.entries, 0) << "a failed frame leaked tiles into the store";
+  EXPECT_EQ(stats.inserts, 0);
+  EXPECT_EQ(stats.bytes, 0u);
+
+  core::DncConfig uncached = dnc;
+  uncached.tile_cache = false;
+  core::DncSynthesizer solo(config, uncached);
+  solo.synthesize(*good, spots);
+  core::SynthesisRequest recover;
+  recover.field = good.get();
+  recover.spots = spots;
+  EXPECT_EQ(service.submit(id, std::move(recover)).result.get().content_hash,
+            solo.texture().content_hash());
+  stats = service.tile_cache_stats();
+  EXPECT_EQ(stats.inserts, dnc.pipes);
+  EXPECT_EQ(stats.entries, dnc.pipes);
+}
+
 // ----------------------------------------------------- device pools -------
 
 TEST(FramebufferPool, RecycledBufferIsCleanAndRightSize) {
