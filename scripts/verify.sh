@@ -24,6 +24,17 @@
 #                                    # of the default ctest pass; this mode
 #                                    # is the quick pre-commit check after a
 #                                    # rendering change.
+#   scripts/verify.sh --asan         # build-asan: Address+UndefinedBehavior
+#                                    # sanitizers (-fno-sanitize-recover=all)
+#                                    # and the FULL ctest suite under them.
+#                                    # Slow; any finding is a hard failure.
+#   scripts/verify.sh --analyze      # run scripts/analyze.sh: lock-lint +
+#                                    # determinism lint (always), clang
+#                                    # thread-safety build + negative compile
+#                                    # check and clang-tidy (skip cleanly if
+#                                    # clang is not installed)
+#   scripts/verify.sh --format-check # analyze.sh gates + clang-format
+#                                    # --dry-run -Werror diff mode
 #   BUILD_DIR=out scripts/verify.sh
 #   JOBS=8 scripts/verify.sh
 #
@@ -39,14 +50,31 @@ JOBS="${JOBS:-$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)}"
 RUN_TSAN=0
 RUN_BENCH_SMOKE=0
 RUN_GOLDEN_ONLY=0
+RUN_ASAN=0
+RUN_ANALYZE=0
+RUN_FORMAT_CHECK=0
 for arg in "$@"; do
   case "$arg" in
     --tsan) RUN_TSAN=1 ;;
     --bench-smoke) RUN_BENCH_SMOKE=1 ;;
     --golden) RUN_GOLDEN_ONLY=1 ;;
-    *) echo "unknown argument: $arg (supported: --tsan, --bench-smoke, --golden)" >&2; exit 2 ;;
+    --asan) RUN_ASAN=1 ;;
+    --analyze) RUN_ANALYZE=1 ;;
+    --format-check) RUN_ANALYZE=1; RUN_FORMAT_CHECK=1 ;;
+    *) echo "unknown argument: $arg (supported: --tsan, --bench-smoke, --golden, --asan, --analyze, --format-check)" >&2; exit 2 ;;
   esac
 done
+
+# Static-analysis gates run before the build: the lints need no compiler and
+# fail fastest, and analyze.sh owns its own build trees (build-analyze).
+if [[ "$RUN_ANALYZE" -eq 1 ]]; then
+  echo "== static-analysis gates (scripts/analyze.sh) =="
+  if [[ "$RUN_FORMAT_CHECK" -eq 1 ]]; then
+    scripts/analyze.sh --format-check
+  else
+    scripts/analyze.sh
+  fi
+fi
 
 # Goldens must exist before the golden suite runs — fail loudly, never
 # skip. Checked *after* the build so the regeneration command it recommends
@@ -89,6 +117,21 @@ if [[ "$RUN_BENCH_SMOKE" -eq 1 ]]; then
   "$BUILD_DIR/bench/bench_service" --smoke
   echo "== tile-cache bench smoke (bench_tile_cache --smoke) =="
   "$BUILD_DIR/bench/bench_tile_cache" --smoke
+fi
+
+if [[ "$RUN_ASAN" -eq 1 ]]; then
+  # Full suite under ASan+UBSan with -fno-sanitize-recover=all: any heap
+  # error, overflow, or UB aborts the test, so a green run is a strong
+  # memory-safety statement. Instrumented builds are several times slower;
+  # the ctest timeouts (600s) still hold on one core.
+  echo "== AddressSanitizer + UBSan pass (build-asan) =="
+  cmake --preset asan-ubsan
+  cmake --build --preset asan-ubsan -j "$JOBS"
+  # LeakSanitizer's ptrace-based stop-the-world is refused by many container
+  # runtimes (the tracer thread segfaults); heap errors and UB still abort.
+  export ASAN_OPTIONS="${ASAN_OPTIONS:-abort_on_error=1 detect_leaks=0}"
+  export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}"
+  (cd build-asan && ctest --output-on-failure -j "$JOBS")
 fi
 
 if [[ "$RUN_TSAN" -eq 1 ]]; then

@@ -4,7 +4,6 @@
 #include <chrono>
 #include <cmath>
 #include <numeric>
-#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <utility>
@@ -69,17 +68,17 @@ struct DncSynthesizer::FrameHandle : Runtime::SharedJob {
   explicit FrameHandle(DncSynthesizer* o) : owner(o) {}
 
   bool serve() override {
-    std::shared_lock lock(mutex);
+    util::ReaderLock lock(mutex);
     return owner != nullptr && owner->serve_frame(/*is_caller=*/false);
   }
 
   void detach() {
-    std::unique_lock lock(mutex);
+    util::WriterLock lock(mutex);
     owner = nullptr;
   }
 
-  std::shared_mutex mutex;
-  DncSynthesizer* owner;
+  util::SharedMutex mutex;
+  DncSynthesizer* owner DCSN_GUARDED_BY(mutex);
 };
 
 DncSynthesizer::DncSynthesizer(SynthesisConfig synthesis, DncConfig dnc)
@@ -347,7 +346,7 @@ FrameStats DncSynthesizer::synthesize(const field::VectorField& f,
   next_master_.store(0, std::memory_order_relaxed);
   masters_done_.store(0, std::memory_order_relaxed);
   {
-    std::lock_guard lock(job_mutex_);
+    util::MutexLock lock(job_mutex_);
     slots_.assign(static_cast<std::size_t>(dnc_.processors), Slot{});
     slot_taken_.assign(static_cast<std::size_t>(dnc_.processors), 0);
     slot_taken_[0] = 1;        // the caller's reserved seat
@@ -365,6 +364,7 @@ FrameStats DncSynthesizer::synthesize(const field::VectorField& f,
                          ? std::min(dnc_.processors, 1 + runtime_->worker_count())
                          : 1;
     gate_open_ = gate_expected_ <= 1;
+    // determinism: scheduling gate only — join order never affects pixels.
     gate_deadline_ = std::chrono::steady_clock::now() + 1500us;
   }
 
@@ -388,7 +388,7 @@ FrameStats DncSynthesizer::synthesize(const field::VectorField& f,
     }
     std::exception_ptr error;
     {
-      std::lock_guard lock(error_mutex_);
+      util::MutexLock lock(error_mutex_);
       error = std::exchange(frame_error_, nullptr);
     }
     frame_failed_.store(false, std::memory_order_release);
@@ -512,7 +512,7 @@ bool DncSynthesizer::serve_frame(bool is_caller) {
   Slot* slot = nullptr;
   int ordinal = 0;
   {
-    std::lock_guard lock(job_mutex_);
+    util::MutexLock lock(job_mutex_);
     if (!frame_open_) return false;
     if (is_caller) {
       ordinal = 0;  // reserved at frame open
@@ -532,13 +532,14 @@ bool DncSynthesizer::serve_frame(bool is_caller) {
   }
   {
     // Line up at the start gate: quorum or deadline opens it for everyone.
-    std::unique_lock lock(job_mutex_);
+    util::MutexLock lock(job_mutex_);
     if (!gate_open_) {
       if (active_participants_ >= gate_expected_) {
         gate_open_ = true;
         job_cv_.notify_all();
       } else {
-        job_cv_.wait_until(lock, gate_deadline_, [&] { return gate_open_; });
+        job_cv_.wait_until(lock, gate_deadline_,
+                           [&]() DCSN_REQUIRES(job_mutex_) { return gate_open_; });
         if (!gate_open_) {
           gate_open_ = true;  // deadline: open for every later participant
           job_cv_.notify_all();
@@ -553,7 +554,7 @@ bool DncSynthesizer::serve_frame(bool is_caller) {
     return worked;
   }
   {
-    std::lock_guard lock(job_mutex_);
+    util::MutexLock lock(job_mutex_);
     slot_taken_[static_cast<std::size_t>(ordinal)] = 0;
     --active_participants_;
   }
@@ -603,7 +604,7 @@ bool DncSynthesizer::participant_loop(Slot& slot, int ordinal, bool is_caller) {
     // workers, late masters may still need claiming after a failure, and a
     // straggler participant may still be mid-chunk. The timed wait bounds
     // the recheck latency; completion transitions signal job_cv_.
-    std::unique_lock lock(job_mutex_);
+    util::MutexLock lock(job_mutex_);
     if (masters_done_.load(std::memory_order_acquire) == pipe_count &&
         active_participants_ == 1) {
       // Close under the same lock that observed quiescence so no straggler
@@ -816,7 +817,7 @@ bool DncSynthesizer::producer_once(Slot& slot, int ordinal, bool is_caller) {
 
 void DncSynthesizer::fail_frame(std::exception_ptr error) {
   {
-    std::lock_guard lock(error_mutex_);
+    util::MutexLock lock(error_mutex_);
     if (!frame_error_) frame_error_ = error;
   }
   frame_failed_.store(true, std::memory_order_release);

@@ -48,11 +48,9 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "core/frame_delta.hpp"
@@ -66,6 +64,7 @@
 #include "util/error.hpp"
 #include "util/queue.hpp"
 #include "util/stopwatch.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/threading.hpp"
 
 namespace dcsn::core {
@@ -360,49 +359,61 @@ class DncSynthesizer {
   void prepare_tiles(std::span<const SpotInstance> spots);
   [[nodiscard]] std::int64_t global_index(const Group& group, std::int64_t local) const;
 
-  SynthesisConfig synthesis_;
-  DncConfig dnc_;
-  Runtime* runtime_;
+  SynthesisConfig synthesis_;  // lock-lint: unguarded(immutable after construction)
+  DncConfig dnc_;              // lock-lint: unguarded(immutable after construction)
+  Runtime* runtime_;           // lock-lint: unguarded(immutable after construction)
   /// Hash of every pixel-affecting synthesis/raster parameter — the
   /// config component of this engine's TileStore keys (computed once;
   /// excludes inputs like the spot seed that enter through the spot list).
-  std::uint64_t tile_key_config_hash_ = 0;
+  std::uint64_t tile_key_config_hash_ = 0;  // lock-lint: unguarded(immutable after construction)
 
-  std::shared_ptr<render::Bus> bus_;
-  std::vector<Tile> tiles_;            ///< one per group in tiled mode
-  std::vector<std::unique_ptr<Group>> groups_;  // Group is immovable (owns a queue)
-  render::Framebuffer final_;
-  std::int64_t frame_serial_ = 0;
-  const std::atomic<bool>* cancel_token_ = nullptr;
+  std::shared_ptr<render::Bus> bus_;  // lock-lint: unguarded(immutable after construction)
+  /// One per group in tiled mode.
+  std::vector<Tile> tiles_;   // lock-lint: unguarded(caller thread, between frames)
+  // Group is immovable (owns a queue).
+  std::vector<std::unique_ptr<Group>> groups_;  // lock-lint: unguarded(sized at construction)
+  render::Framebuffer final_;       // lock-lint: unguarded(caller thread, between frames)
+  std::int64_t frame_serial_ = 0;   // lock-lint: unguarded(caller thread, between frames)
+  const std::atomic<bool>* cancel_token_ = nullptr;  // lock-lint: unguarded(caller thread, between frames)
 
-  // Per-frame job state, written by synthesize() before the job opens.
-  const field::VectorField* job_field_ = nullptr;
-  std::span<const SpotInstance> job_spots_;
-  std::unique_ptr<SpotGeometryGenerator> job_generator_;
-  TileAssignment job_assignment_;
+  // Per-frame job state, written by synthesize() before the job opens and
+  // read-only while participants run — publication happens-before via the
+  // frame_open_ transition under job_mutex_.
+  const field::VectorField* job_field_ = nullptr;  // lock-lint: unguarded(frame-setup, see above)
+  std::span<const SpotInstance> job_spots_;        // lock-lint: unguarded(frame-setup, see above)
+  std::unique_ptr<SpotGeometryGenerator> job_generator_;  // lock-lint: unguarded(frame-setup, see above)
+  TileAssignment job_assignment_;                  // lock-lint: unguarded(frame-setup, see above)
 
   // Participation state for the frame in flight.
-  std::shared_ptr<FrameHandle> frame_handle_;
+  std::shared_ptr<FrameHandle> frame_handle_;  // lock-lint: unguarded(caller thread, between frames)
   std::atomic<int> next_master_{0};   ///< master roles handed out
   std::atomic<int> masters_done_{0};  ///< master roles completed (or bailed)
-  std::mutex job_mutex_;              ///< guards the fields below + slots_ growth
-  std::condition_variable job_cv_;    ///< master/participant transitions
-  bool frame_open_ = false;           ///< accepting participants
-  int active_participants_ = 0;       ///< includes the caller's reserved seat
+  /// Guards the participation fields below + slots_ growth.
+  util::Mutex job_mutex_;
+  util::CondVar job_cv_;  ///< master/participant transitions
+  /// Accepting participants.
+  bool frame_open_ DCSN_GUARDED_BY(job_mutex_) = false;
+  /// Includes the caller's reserved seat.
+  int active_participants_ DCSN_GUARDED_BY(job_mutex_) = 0;
   // Start gate: early participants line up until `gate_expected_` have
   // joined or the deadline passes (see synthesize for why).
-  bool gate_open_ = true;
-  int gate_expected_ = 1;
-  std::chrono::steady_clock::time_point gate_deadline_{};
-  std::vector<Slot> slots_;                ///< fixed: one per processor
-  std::vector<std::uint8_t> slot_taken_;   ///< slot 0 is the caller's
+  bool gate_open_ DCSN_GUARDED_BY(job_mutex_) = true;
+  int gate_expected_ DCSN_GUARDED_BY(job_mutex_) = 1;
+  // determinism: the gate deadline bounds how long participants line up —
+  // scheduling only, never pixels (the lattice makes join order invisible).
+  std::chrono::steady_clock::time_point gate_deadline_ DCSN_GUARDED_BY(job_mutex_){};
+  /// Fixed: one per processor. Grown under job_mutex_; each occupied slot is
+  /// then written by its one participant only.
+  std::vector<Slot> slots_ DCSN_GUARDED_BY(job_mutex_);
+  /// Slot 0 is the caller's.
+  std::vector<std::uint8_t> slot_taken_ DCSN_GUARDED_BY(job_mutex_);
 
   // Frame failure protocol: the first participant to throw stores its
   // exception, flips the flag, and closes every inbox; everyone else drains
   // out and synthesize() rethrows on the caller thread.
   std::atomic<bool> frame_failed_{false};
-  std::mutex error_mutex_;
-  std::exception_ptr frame_error_;
+  util::Mutex error_mutex_;
+  std::exception_ptr frame_error_ DCSN_GUARDED_BY(error_mutex_);
 };
 
 }  // namespace dcsn::core

@@ -33,7 +33,7 @@ Runtime::Runtime(RuntimeConfig config)
 
 Runtime::~Runtime() {
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     stop_ = true;
     ++epoch_;
   }
@@ -48,7 +48,7 @@ Runtime& Runtime::global() {
 }
 
 void Runtime::ensure_workers(int count) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   while (static_cast<int>(workers_.size()) < count) {
     const int id = static_cast<int>(workers_.size());
     workers_.emplace_back([this, id] { worker_loop(id); });
@@ -56,13 +56,13 @@ void Runtime::ensure_workers(int count) {
 }
 
 int Runtime::worker_count() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return static_cast<int>(workers_.size());
 }
 
 void Runtime::register_job(std::shared_ptr<SharedJob> job) {
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     jobs_.push_back(std::move(job));
     job_count_.store(static_cast<int>(jobs_.size()), std::memory_order_relaxed);
     ++epoch_;
@@ -71,14 +71,14 @@ void Runtime::register_job(std::shared_ptr<SharedJob> job) {
 }
 
 void Runtime::deregister_job(const SharedJob* job) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   std::erase_if(jobs_, [job](const auto& j) { return j.get() == job; });
   job_count_.store(static_cast<int>(jobs_.size()), std::memory_order_relaxed);
 }
 
 void Runtime::notify_workers() {
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     ++epoch_;
   }
   cv_.notify_all();
@@ -86,7 +86,7 @@ void Runtime::notify_workers() {
 
 void Runtime::post(std::function<void()> fn) {
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     tasks_.push_back(std::move(fn));
     ++epoch_;
   }
@@ -100,7 +100,7 @@ void Runtime::worker_loop(int worker_id) {
     std::vector<std::shared_ptr<SharedJob>> jobs;
     std::uint64_t epoch;
     {
-      std::unique_lock lock(mutex_);
+      util::MutexLock lock(mutex_);
       epoch = epoch_;
       if (stop_) return;
       if (!tasks_.empty()) {
@@ -119,8 +119,10 @@ void Runtime::worker_loop(int worker_id) {
     bool worked = false;
     for (const auto& job : jobs) worked = job->serve() || worked;
     if (worked) continue;
-    std::unique_lock lock(mutex_);
-    cv_.wait(lock, [&] { return stop_ || epoch_ != epoch || !tasks_.empty(); });
+    util::MutexLock lock(mutex_);
+    cv_.wait(lock, [&]() DCSN_REQUIRES(mutex_) {
+      return stop_ || epoch_ != epoch || !tasks_.empty();
+    });
   }
 }
 
@@ -128,7 +130,7 @@ PipeLease Runtime::acquire_pipe(const render::PipeConfig& config,
                                 std::shared_ptr<render::Bus> bus, int pipe_id) {
   std::unique_ptr<render::GraphicsPipe> pipe;
   {
-    std::lock_guard lock(pipes_mutex_);
+    util::MutexLock lock(pipes_mutex_);
     auto it = idle_pipes_.find(key_of(config));
     if (it != idle_pipes_.end() && !it->second.empty()) {
       pipe = std::move(it->second.back());
@@ -163,19 +165,19 @@ void Runtime::release_pipe(std::unique_ptr<render::GraphicsPipe> pipe) {
   pipe->finish();
   pipe->set_bus(nullptr);
   pipe->reset_stats();
-  std::lock_guard lock(pipes_mutex_);
+  util::MutexLock lock(pipes_mutex_);
   auto& idle = idle_pipes_[key_of(pipe->config())];
   if (idle.size() < config_.max_idle_pipes) idle.push_back(std::move(pipe));
   // else: destroyed here, joining its server thread.
 }
 
 std::int64_t Runtime::pipes_created() const {
-  std::lock_guard lock(pipes_mutex_);
+  util::MutexLock lock(pipes_mutex_);
   return pipes_created_;
 }
 
 std::int64_t Runtime::pipes_reused() const {
-  std::lock_guard lock(pipes_mutex_);
+  util::MutexLock lock(pipes_mutex_);
   return pipes_reused_;
 }
 

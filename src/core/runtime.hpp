@@ -39,13 +39,11 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <tuple>
 #include <utility>
@@ -54,6 +52,7 @@
 #include "core/tile_store.hpp"
 #include "render/framebuffer_pool.hpp"
 #include "render/pipe.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace dcsn::core {
 
@@ -208,25 +207,33 @@ class Runtime {
   void release_pipe(std::unique_ptr<render::GraphicsPipe> pipe);
   void worker_loop(int worker_id);
 
-  RuntimeConfig config_;
+  RuntimeConfig config_;  // lock-lint: unguarded(immutable after construction)
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::uint64_t epoch_ = 0;  ///< bumped on every wake-worthy event
-  bool stop_ = false;
-  std::vector<std::shared_ptr<SharedJob>> jobs_;  ///< FIFO service order
+  mutable util::Mutex mutex_;
+  util::CondVar cv_;
+  std::uint64_t epoch_ DCSN_GUARDED_BY(mutex_) = 0;  ///< bumped per wake event
+  bool stop_ DCSN_GUARDED_BY(mutex_) = false;
+  /// FIFO service order.
+  std::vector<std::shared_ptr<SharedJob>> jobs_ DCSN_GUARDED_BY(mutex_);
   std::atomic<int> job_count_{0};  ///< jobs_.size(), readable without mutex_
-  std::vector<std::function<void()>> tasks_;
+  std::vector<std::function<void()>> tasks_ DCSN_GUARDED_BY(mutex_);
 
-  mutable std::mutex pipes_mutex_;
-  std::map<PipeKey, std::vector<std::unique_ptr<render::GraphicsPipe>>> idle_pipes_;
-  std::int64_t pipes_created_ = 0;
-  std::int64_t pipes_reused_ = 0;
+  mutable util::Mutex pipes_mutex_;
+  std::map<PipeKey, std::vector<std::unique_ptr<render::GraphicsPipe>>>
+      idle_pipes_ DCSN_GUARDED_BY(pipes_mutex_);
+  std::int64_t pipes_created_ DCSN_GUARDED_BY(pipes_mutex_) = 0;
+  std::int64_t pipes_reused_ DCSN_GUARDED_BY(pipes_mutex_) = 0;
 
-  render::FramebufferPool framebuffers_;
-  TileStore tile_store_;  // recycles into framebuffers_: declared after it
+  render::FramebufferPool framebuffers_;  // lock-lint: unguarded(internally synchronized)
+  // Recycles into framebuffers_: declared after it.
+  TileStore tile_store_;  // lock-lint: unguarded(internally synchronized)
 
-  std::vector<std::jthread> workers_;  // joined in ~Runtime after stop_
+  /// Grown under mutex_ (ensure_workers) but deliberately unannotated: the
+  /// destructor joins the pool via workers_.clear() *without* mutex_ held —
+  /// a worker being joined may itself need mutex_ to observe stop_, so
+  /// holding it there would deadlock. Safe because by then no other thread
+  /// can call ensure_workers (destruction implies exclusive access).
+  std::vector<std::jthread> workers_;  // lock-lint: unguarded(joined unlocked in dtor)
 };
 
 }  // namespace dcsn::core

@@ -27,7 +27,7 @@ SynthesisService::SessionId SynthesisService::open_session(
   auto session = std::make_unique<Session>();
   session->priority = priority;
   session->engine = std::make_unique<DncSynthesizer>(synthesis, dnc, *runtime_);
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   DCSN_CHECK(accepting_, "the service is shutting down");
   session->id = next_session_id_++;
   const SessionId id = session->id;
@@ -38,7 +38,7 @@ SynthesisService::SessionId SynthesisService::open_session(
 void SynthesisService::close_session(SessionId id) {
   std::unique_ptr<Session> dead;
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     auto it = sessions_.find(id);
     if (it == sessions_.end()) return;
     Session& session = *it->second;
@@ -59,7 +59,7 @@ SynthesisService::JobTicket SynthesisService::submit(SessionId id,
   DCSN_CHECK(request.field != nullptr, "a synthesis request needs a field");
   JobTicket ticket;
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     DCSN_CHECK(accepting_, "the service is shutting down");
     auto it = sessions_.find(id);
     DCSN_CHECK(it != sessions_.end() && !it->second->closed,
@@ -79,7 +79,7 @@ SynthesisService::JobTicket SynthesisService::submit(SessionId id,
 }
 
 bool SynthesisService::cancel(JobId id) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto it = jobs_.find(id);
   if (it == jobs_.end()) return false;  // unknown or already completed
   Job& job = *it->second;
@@ -101,7 +101,7 @@ bool SynthesisService::cancel(JobId id) {
 
 void SynthesisService::shutdown(bool drain) {
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     accepting_ = false;
     if (shutdown_) return;  // idempotent: a second call changes nothing
     shutdown_ = true;
@@ -122,7 +122,7 @@ void SynthesisService::shutdown(bool drain) {
 }
 
 int SynthesisService::pending_jobs() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   int n = 0;
   for (const auto& [id, session] : sessions_) {
     n += static_cast<int>(session->queue.size());
@@ -154,7 +154,7 @@ SynthesisService::Session* SynthesisService::pick_session() {
 
 void SynthesisService::driver_loop() {
   util::set_current_thread_name("dcsn-svc");
-  std::unique_lock lock(mutex_);
+  util::MutexLock lock(mutex_);
   for (;;) {
     Session* session = pick_session();
     if (session == nullptr) {

@@ -28,13 +28,11 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <vector>
@@ -42,6 +40,7 @@
 #include "core/dnc_synthesizer.hpp"
 #include "core/runtime.hpp"
 #include "core/synthesis_cache.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace dcsn::core {
 
@@ -156,28 +155,30 @@ class SynthesisService {
 
   void driver_loop();
   /// Highest-priority session with a runnable head job; equal priorities go
-  /// to the least recently served. Caller holds mutex_.
-  [[nodiscard]] Session* pick_session();
+  /// to the least recently served.
+  [[nodiscard]] Session* pick_session() DCSN_REQUIRES(mutex_);
   void run_job(Session& session, Job& job, std::int64_t seq);
-  /// Fails every pending job of `session` with JobCanceled. Caller holds
-  /// mutex_.
-  void cancel_pending(Session& session);
+  /// Fails every pending job of `session` with JobCanceled.
+  void cancel_pending(Session& session) DCSN_REQUIRES(mutex_);
 
-  Runtime* runtime_;
-  ServiceConfig config_;
+  Runtime* runtime_;        // lock-lint: unguarded(immutable after construction)
+  ServiceConfig config_;    // lock-lint: unguarded(immutable after construction)
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::map<SessionId, std::unique_ptr<Session>> sessions_;
-  std::map<JobId, std::shared_ptr<Job>> jobs_;  ///< pending + running
-  SessionId next_session_id_ = 1;
-  JobId next_job_id_ = 1;
-  std::int64_t serve_clock_ = 0;
-  bool accepting_ = true;
-  bool shutdown_ = false;
-  bool drain_ = true;
+  mutable util::Mutex mutex_;
+  util::CondVar cv_;
+  std::map<SessionId, std::unique_ptr<Session>> sessions_ DCSN_GUARDED_BY(mutex_);
+  /// Pending + running.
+  std::map<JobId, std::shared_ptr<Job>> jobs_ DCSN_GUARDED_BY(mutex_);
+  SessionId next_session_id_ DCSN_GUARDED_BY(mutex_) = 1;
+  JobId next_job_id_ DCSN_GUARDED_BY(mutex_) = 1;
+  std::int64_t serve_clock_ DCSN_GUARDED_BY(mutex_) = 0;
+  bool accepting_ DCSN_GUARDED_BY(mutex_) = true;
+  bool shutdown_ DCSN_GUARDED_BY(mutex_) = false;
+  bool drain_ DCSN_GUARDED_BY(mutex_) = true;
 
-  std::vector<std::jthread> drivers_;  // joined by shutdown()
+  /// Joined by shutdown(), which must not hold mutex_ there (a driver being
+  /// joined takes mutex_ to drain the backlog — holding it would deadlock).
+  std::vector<std::jthread> drivers_;  // lock-lint: unguarded(joined unlocked in shutdown)
 };
 
 }  // namespace dcsn::core

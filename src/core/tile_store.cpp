@@ -60,7 +60,7 @@ const TileStore::Shard& TileStore::shard_of(const TileKey& key) const {
 
 TileStore::Checkout TileStore::probe(const TileKey& key) {
   Shard& shard = shard_of(key);
-  std::lock_guard lock(shard.mutex);
+  util::MutexLock lock(shard.mutex);
   const auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
@@ -76,7 +76,7 @@ TileStore::Checkout TileStore::probe(const TileKey& key) {
 
 bool TileStore::contains(const TileKey& key) const {
   const Shard& shard = shard_of(key);
-  std::lock_guard lock(shard.mutex);
+  util::MutexLock lock(shard.mutex);
   return shard.index.contains(key);
 }
 
@@ -96,7 +96,7 @@ TileStore::PublishOutcome TileStore::publish(const TileKey& key,
   Shard& shard = shard_of(key);
   std::vector<render::Framebuffer> evicted;  // recycled outside the lock
   {
-    std::lock_guard lock(shard.mutex);
+    util::MutexLock lock(shard.mutex);
     if (shard.index.contains(key)) {
       // First writer wins. Entries are immutable, and bit-determinism means
       // the loser's pixels are identical anyway.
@@ -128,6 +128,8 @@ TileStore::PublishOutcome TileStore::publish(const TileKey& key,
         outcome.inserted = true;
       }
     }
+    DCSN_CHECK(shard.bytes <= shard_budget_,
+               "tile store shard exceeded its byte budget");
   }
   evictions_.fetch_add(outcome.evicted, std::memory_order_relaxed);
   if (!outcome.inserted) discard(std::move(pixels));
@@ -140,7 +142,7 @@ void TileStore::clear() {
     Shard& shard = *shard_ptr;
     std::vector<render::Framebuffer> dropped;
     {
-      std::lock_guard lock(shard.mutex);
+      util::MutexLock lock(shard.mutex);
       for (auto it = shard.lru.begin(); it != shard.lru.end();) {
         if (it->pins.load(std::memory_order_acquire) != 0) {
           ++it;
@@ -151,6 +153,8 @@ void TileStore::clear() {
         dropped.push_back(std::move(it->pixels));
         it = shard.lru.erase(it);
       }
+      DCSN_CHECK(shard.bytes <= shard_budget_,
+                 "tile store shard exceeded its byte budget");
     }
     evictions_.fetch_add(static_cast<std::int64_t>(dropped.size()),
                          std::memory_order_relaxed);
@@ -168,7 +172,7 @@ TileStore::Stats TileStore::stats() const {
   s.rejects = rejects_.load(std::memory_order_relaxed);
   s.budget_bytes = config_.max_bytes;
   for (const auto& shard_ptr : shards_) {
-    std::lock_guard lock(shard_ptr->mutex);
+    util::MutexLock lock(shard_ptr->mutex);
     s.entries += static_cast<std::int64_t>(shard_ptr->lru.size());
     s.bytes += shard_ptr->bytes;
   }

@@ -52,7 +52,6 @@
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <unordered_map>
 #include <utility>
@@ -61,6 +60,7 @@
 #include "core/spot_source.hpp"
 #include "render/framebuffer.hpp"
 #include "render/framebuffer_pool.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace dcsn::core {
 
@@ -212,13 +212,13 @@ class TileStore {
   };
 
   struct Shard {
-    mutable std::mutex mutex;
+    mutable util::Mutex mutex;
     /// Front = most recently used. std::list: stable Entry addresses (pins
     /// are referenced lock-free by Checkouts) and O(1) LRU splice.
-    std::list<Entry> lru;
+    std::list<Entry> lru DCSN_GUARDED_BY(mutex);
     std::unordered_map<TileKey, std::list<Entry>::iterator, KeyIndexHash>
-        index;
-    std::uint64_t bytes = 0;
+        index DCSN_GUARDED_BY(mutex);
+    std::uint64_t bytes DCSN_GUARDED_BY(mutex) = 0;
 
     explicit Shard(const std::function<std::uint64_t(const TileKey&)>* fn)
         : index(16, KeyIndexHash{fn}) {}

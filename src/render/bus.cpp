@@ -5,15 +5,16 @@
 namespace dcsn::render {
 
 Bus::Bus(double bytes_per_second)
+    // determinism: timing model only — see the Clock declaration.
     : bytes_per_second_(bytes_per_second), channel_free_(Clock::now()) {}
 
 Bus::Clock::time_point Bus::schedule(std::size_t bytes) {
   bytes_moved_.fetch_add(bytes, std::memory_order_relaxed);
-  const auto now = Clock::now();
+  const auto now = Clock::now();  // determinism: timing model only
   if (!throttled()) return now;
   const auto duration = std::chrono::duration_cast<Clock::duration>(
       std::chrono::duration<double>(static_cast<double>(bytes) / bytes_per_second_));
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   const auto start = channel_free_ > now ? channel_free_ : now;
   channel_free_ = start + duration;
   return channel_free_;

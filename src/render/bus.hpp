@@ -16,12 +16,15 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <mutex>
+
+#include "util/thread_annotations.hpp"
 
 namespace dcsn::render {
 
 class Bus {
  public:
+  // determinism: the bus is a *timing* model — its wall-clock reads decide
+  // when simulated transfers complete, never what pixels are produced.
   using Clock = std::chrono::steady_clock;
 
   /// bytes_per_second == 0 disables throttling (infinite bandwidth).
@@ -44,9 +47,10 @@ class Bus {
   void reset_stats() { bytes_moved_.store(0, std::memory_order_relaxed); }
 
  private:
-  double bytes_per_second_;
-  std::mutex mutex_;
-  Clock::time_point channel_free_;  ///< when the last scheduled transfer ends
+  const double bytes_per_second_;
+  util::Mutex mutex_;
+  /// When the last scheduled transfer ends (the serialized channel's state).
+  Clock::time_point channel_free_ DCSN_GUARDED_BY(mutex_);
   std::atomic<std::uint64_t> bytes_moved_{0};
 };
 

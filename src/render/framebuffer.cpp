@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 
 #include "util/error.hpp"
 #include "util/hash.hpp"
@@ -39,8 +40,12 @@ void Framebuffer::accumulate(const Framebuffer& src) {
 }
 
 void Framebuffer::copy_rect_from(const Framebuffer& src, int x0, int y0) {
-  DCSN_CHECK(x0 >= 0 && y0 >= 0 && x0 + src.width_ <= width_ &&
-                 y0 + src.height_ <= height_,
+  // Widen before adding: for hostile origins near INT_MAX the naive
+  // `x0 + src.width_` wraps (signed overflow, UB) and can accept an
+  // out-of-bounds rect. See Framebuffer.CopyRectRejectsOverflowingOrigin.
+  DCSN_CHECK(x0 >= 0 && y0 >= 0 &&
+                 static_cast<std::int64_t>(x0) + src.width_ <= width_ &&
+                 static_cast<std::int64_t>(y0) + src.height_ <= height_,
              "tile must fit inside the destination");
   for (int y = 0; y < src.height_; ++y) {
     const auto src_row = src.pixels().row(y);
@@ -49,8 +54,10 @@ void Framebuffer::copy_rect_from(const Framebuffer& src, int x0, int y0) {
 }
 
 void Framebuffer::extract_rect_into(Framebuffer& dst, int x0, int y0) const {
-  DCSN_CHECK(x0 >= 0 && y0 >= 0 && x0 + dst.width_ <= width_ &&
-                 y0 + dst.height_ <= height_,
+  // Same signed-overflow hazard as copy_rect_from: widen before adding.
+  DCSN_CHECK(x0 >= 0 && y0 >= 0 &&
+                 static_cast<std::int64_t>(x0) + dst.width_ <= width_ &&
+                 static_cast<std::int64_t>(y0) + dst.height_ <= height_,
              "extracted rect must lie inside the source");
   for (int y = 0; y < dst.height_; ++y) {
     const auto src_row = pixels().row(y + y0);

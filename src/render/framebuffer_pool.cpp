@@ -2,12 +2,14 @@
 
 #include <utility>
 
+#include "util/error.hpp"
+
 namespace dcsn::render {
 
 Framebuffer FramebufferPool::acquire(int width, int height) {
   Framebuffer buffer;
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (!idle_.empty()) {
       buffer = std::move(idle_.back());
       idle_.pop_back();
@@ -18,12 +20,14 @@ Framebuffer FramebufferPool::acquire(int width, int height) {
   // which is the whole checkout contract — a recycled buffer can never leak
   // a previous job's pixels into a retention compose.
   buffer.reset(width, height);
+  DCSN_CHECK(buffer.width() == width && buffer.height() == height,
+             "framebuffer pool checkout must match the requested dimensions");
   return buffer;
 }
 
 void FramebufferPool::release(Framebuffer&& buffer) {
   if (buffer.pixel_count() == 0) return;  // default-constructed: nothing to keep
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (idle_.size() >= max_idle_) {
     // Drop the oldest retained buffer instead of the incoming one: recent
     // sizes predict future acquires better.
@@ -33,12 +37,12 @@ void FramebufferPool::release(Framebuffer&& buffer) {
 }
 
 std::size_t FramebufferPool::idle_count() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return idle_.size();
 }
 
 std::int64_t FramebufferPool::reuse_count() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return reuses_;
 }
 

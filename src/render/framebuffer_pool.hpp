@@ -16,10 +16,10 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
 #include "render/framebuffer.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace dcsn::render {
 
@@ -46,10 +46,10 @@ class FramebufferPool {
   [[nodiscard]] std::int64_t reuse_count() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<Framebuffer> idle_;
-  std::size_t max_idle_;
-  std::int64_t reuses_ = 0;
+  mutable util::Mutex mutex_;
+  std::vector<Framebuffer> idle_ DCSN_GUARDED_BY(mutex_);
+  const std::size_t max_idle_;
+  std::int64_t reuses_ DCSN_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace dcsn::render

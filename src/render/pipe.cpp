@@ -51,9 +51,11 @@ void GraphicsPipe::submit_with_state_changes(CommandBuffer buffer, int count) {
   if (buffer.empty() && count == 0) return;
   const std::size_t bytes = buffer.byte_size();
   const auto available_at =
-      bus_ ? bus_->schedule(bytes) : Bus::Clock::time_point{Bus::Clock::now()};
+      bus_ ? bus_->schedule(bytes)
+           // determinism: timing model only — completion stamp, not pixels.
+           : Bus::Clock::time_point{Bus::Clock::now()};
   {
-    std::lock_guard lock(stats_mutex_);
+    util::MutexLock lock(stats_mutex_);
     stats_.bytes_received += bytes;
   }
   queue_.push(CmdDraw{std::move(buffer), available_at, count});
@@ -79,12 +81,12 @@ void GraphicsPipe::read_back_into(Framebuffer& out) {
 }
 
 PipeStats GraphicsPipe::stats() const {
-  std::lock_guard lock(stats_mutex_);
+  util::MutexLock lock(stats_mutex_);
   return stats_;
 }
 
 void GraphicsPipe::reset_stats() {
-  std::lock_guard lock(stats_mutex_);
+  util::MutexLock lock(stats_mutex_);
   stats_ = PipeStats{};
 }
 
@@ -111,7 +113,7 @@ void GraphicsPipe::execute(Command& cmd) {
       const util::Stopwatch watch;
       pipe.pay_state_change();
       pipe.bound_profile_ = std::move(c.profile);
-      std::lock_guard lock(pipe.stats_mutex_);
+      util::MutexLock lock(pipe.stats_mutex_);
       pipe.stats_.state_changes += 1;
       pipe.stats_.state_seconds += watch.seconds();
       pipe.stats_.busy_seconds += watch.seconds();
@@ -121,7 +123,7 @@ void GraphicsPipe::execute(Command& cmd) {
       const util::Stopwatch watch;
       pipe.pay_state_change();
       pipe.blend_mode_ = c.mode;
-      std::lock_guard lock(pipe.stats_mutex_);
+      util::MutexLock lock(pipe.stats_mutex_);
       pipe.stats_.state_changes += 1;
       pipe.stats_.state_seconds += watch.seconds();
       pipe.stats_.busy_seconds += watch.seconds();
@@ -136,7 +138,7 @@ void GraphicsPipe::execute(Command& cmd) {
       const util::Stopwatch watch;
       pipe.pay_state_change();
       pipe.target_ = Framebuffer(c.width, c.height);
-      std::lock_guard lock(pipe.stats_mutex_);
+      util::MutexLock lock(pipe.stats_mutex_);
       pipe.stats_.state_changes += 1;
       pipe.stats_.state_seconds += watch.seconds();
       pipe.stats_.busy_seconds += watch.seconds();
@@ -147,18 +149,19 @@ void GraphicsPipe::execute(Command& cmd) {
       // stays meaningful when pipes and workers outnumber the host's cores.
       const util::ThreadCpuStopwatch watch;
       pipe.target_.clear(c.value);
-      std::lock_guard lock(pipe.stats_mutex_);
+      util::MutexLock lock(pipe.stats_mutex_);
       pipe.stats_.busy_seconds += watch.seconds();
       pipe.stats_.raster_seconds += watch.seconds();
     }
 
     void operator()(CmdDraw& c) {
       // Wait for the bus to deliver the vertex data (DMA completion).
+      // determinism: timing model only — stall accounting, not pixels.
       const auto now = Bus::Clock::now();
       if (c.available_at > now) {
         const double stall = std::chrono::duration<double>(c.available_at - now).count();
         std::this_thread::sleep_until(c.available_at);
-        std::lock_guard lock(pipe.stats_mutex_);
+        util::MutexLock lock(pipe.stats_mutex_);
         pipe.stats_.stall_seconds += stall;
       }
       double state_time = 0.0;
@@ -199,7 +202,7 @@ void GraphicsPipe::execute(Command& cmd) {
         }
       }
       const double busy = watch.seconds();
-      std::lock_guard lock(pipe.stats_mutex_);
+      util::MutexLock lock(pipe.stats_mutex_);
       pipe.stats_.buffers += 1;
       pipe.stats_.vertices += static_cast<std::int64_t>(c.buffer.vertex_count());
       pipe.stats_.raster += raster;

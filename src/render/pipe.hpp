@@ -33,6 +33,7 @@
 #include "render/spot_profile.hpp"
 #include "util/queue.hpp"
 #include "util/stopwatch.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace dcsn::render {
 
@@ -165,21 +166,26 @@ class GraphicsPipe {
   void execute(Command& cmd);
   void pay_state_change();
 
-  PipeConfig config_;
-  std::shared_ptr<Bus> bus_;
-  int pipe_id_;
+  // Caller-thread state: touched only by the owning master thread (the
+  // command-stream contract above), never by the server.
+  PipeConfig config_;       // lock-lint: unguarded(caller thread only)
+  std::shared_ptr<Bus> bus_;  // lock-lint: unguarded(caller thread only)
+  int pipe_id_;             // lock-lint: unguarded(immutable after construction)
 
-  Framebuffer target_;
-  std::shared_ptr<const SpotProfile> bound_profile_;
-  BlendMode blend_mode_ = BlendMode::kAdditive;
-  int viewport_x_ = 0;
-  int viewport_y_ = 0;
+  // Server-thread state: touched only inside execute(), which runs solely on
+  // server_ — ordering with the caller is the queue's synchronization.
+  Framebuffer target_;      // lock-lint: unguarded(server thread only)
+  std::shared_ptr<const SpotProfile> bound_profile_;  // lock-lint: unguarded(server thread only)
+  BlendMode blend_mode_ = BlendMode::kAdditive;  // lock-lint: unguarded(server thread only)
+  int viewport_x_ = 0;      // lock-lint: unguarded(server thread only)
+  int viewport_y_ = 0;      // lock-lint: unguarded(server thread only)
 
-  util::BoundedQueue<Command> queue_;
-  mutable std::mutex stats_mutex_;
-  PipeStats stats_;
+  util::BoundedQueue<Command> queue_;  // lock-lint: unguarded(internally synchronized)
+  mutable util::Mutex stats_mutex_;
+  PipeStats stats_ DCSN_GUARDED_BY(stats_mutex_);
 
-  std::jthread server_;  // last member: joins before the rest is destroyed
+  // Last member: joins before the rest is destroyed.
+  std::jthread server_;  // lock-lint: unguarded(the server thread itself)
 };
 
 }  // namespace dcsn::render

@@ -8,14 +8,18 @@
 // back-pressure that models a saturated pipe — when the pipe cannot keep up,
 // producers block, which is exactly the "starvation vs. saturation" balance
 // eq. 3.2 describes.
+//
+// Lock discipline is compiler-checked: items_ and closed_ are
+// DCSN_GUARDED_BY(mutex_), so under the `analyze` preset (clang
+// -Wthread-safety) any access outside a util::MutexLock is a build error.
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
+
+#include "util/thread_annotations.hpp"
 
 namespace dcsn::util {
 
@@ -27,8 +31,10 @@ class BoundedQueue {
 
   /// Blocks while full. Returns false if the queue was closed.
   bool push(T value) {
-    std::unique_lock lock(mutex_);
-    not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+    MutexLock lock(mutex_);
+    not_full_.wait(lock, [&]() DCSN_REQUIRES(mutex_) {
+      return closed_ || items_.size() < capacity_;
+    });
     if (closed_) return false;
     items_.push_back(std::move(value));
     lock.unlock();
@@ -39,7 +45,7 @@ class BoundedQueue {
   /// Non-blocking push. Returns false when full or closed.
   bool try_push(T value) {
     {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(value));
     }
@@ -52,7 +58,7 @@ class BoundedQueue {
   /// either way).
   bool try_push_or_keep(T& value) {
     {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(value));
     }
@@ -62,8 +68,10 @@ class BoundedQueue {
 
   /// Blocks while empty. Returns nullopt once closed and drained.
   std::optional<T> pop() {
-    std::unique_lock lock(mutex_);
-    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    MutexLock lock(mutex_);
+    not_empty_.wait(lock, [&]() DCSN_REQUIRES(mutex_) {
+      return closed_ || !items_.empty();
+    });
     if (items_.empty()) return std::nullopt;  // closed and drained
     T value = std::move(items_.front());
     items_.pop_front();
@@ -80,8 +88,10 @@ class BoundedQueue {
   /// that window and the caller rechecks its exit condition.
   template <class Rep, class Period>
   std::optional<T> pop_for(std::chrono::duration<Rep, Period> timeout) {
-    std::unique_lock lock(mutex_);
-    not_empty_.wait_for(lock, timeout, [&] { return closed_ || !items_.empty(); });
+    MutexLock lock(mutex_);
+    not_empty_.wait_for(lock, timeout, [&]() DCSN_REQUIRES(mutex_) {
+      return closed_ || !items_.empty();
+    });
     if (items_.empty()) return std::nullopt;  // timeout, or closed and drained
     T value = std::move(items_.front());
     items_.pop_front();
@@ -92,7 +102,7 @@ class BoundedQueue {
 
   /// Non-blocking pop.
   std::optional<T> try_pop() {
-    std::unique_lock lock(mutex_);
+    MutexLock lock(mutex_);
     if (items_.empty()) return std::nullopt;
     T value = std::move(items_.front());
     items_.pop_front();
@@ -104,7 +114,7 @@ class BoundedQueue {
   /// Wakes all waiters; subsequent pushes fail, pops drain then end.
   void close() {
     {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       closed_ = true;
     }
     not_empty_.notify_all();
@@ -113,29 +123,29 @@ class BoundedQueue {
 
   /// Reopens a drained, closed queue for reuse (e.g. between frames).
   void reopen() {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     closed_ = false;
   }
 
   [[nodiscard]] std::size_t size() const {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     return items_.size();
   }
 
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
 
   [[nodiscard]] bool closed() const {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     return closed_;
   }
 
  private:
-  mutable std::mutex mutex_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<T> items_;
-  std::size_t capacity_;
-  bool closed_ = false;
+  mutable Mutex mutex_;
+  CondVar not_empty_;
+  CondVar not_full_;
+  std::deque<T> items_ DCSN_GUARDED_BY(mutex_);
+  const std::size_t capacity_;
+  bool closed_ DCSN_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace dcsn::util

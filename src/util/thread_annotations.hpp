@@ -1,0 +1,228 @@
+// Compiler-checked locking discipline: Clang Thread Safety Analysis
+// attribute macros and annotated synchronization primitives.
+//
+// Every mutex-protected member in the concurrent runtime (core::Runtime,
+// core::TileStore, core::SynthesisService, util::BoundedQueue,
+// render::GraphicsPipe, render::Bus, render::FramebufferPool, the
+// synthesizers) declares *which* mutex guards it via DCSN_GUARDED_BY, and
+// every function with a locking precondition declares it via DCSN_REQUIRES.
+// Compiled with clang under `-Wthread-safety -Werror=thread-safety` (the
+// `analyze` CMake preset, driven by scripts/analyze.sh), a lock-discipline
+// violation — touching a guarded member without its mutex, double-locking,
+// leaking a lock — is a *build error*, not a hope that a test provokes the
+// race under TSan.
+//
+// On compilers without the attributes (GCC — the default toolchain) the
+// macros expand to nothing and the wrappers degrade to their std::
+// equivalents with zero overhead; scripts/lock_lint.py then enforces the
+// textual half of the discipline (no raw std primitives, no unannotated
+// members in mutex-owning classes) so the annotations cannot rot while the
+// tree is built with GCC only.
+//
+// The vocabulary mirrors the Clang documentation
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html) and the
+// conventional capability wrappers (absl::Mutex, Chromium's
+// base/thread_annotations.h): util::Mutex is a CAPABILITY, util::MutexLock
+// is a SCOPED_CAPABILITY modeled on std::unique_lock (always constructed
+// locked; supports early unlock()/relock() for the unlock-before-notify
+// pattern), util::CondVar waits on a MutexLock. The condition-variable
+// wait's internal release/reacquire is deliberately invisible to the
+// analysis — the capability is treated as continuously held across wait(),
+// which matches how the guarded data may actually be used around it.
+#pragma once
+
+#include <condition_variable>  // lock-lint: allow-std (the wrapper layer itself)
+#include <mutex>               // lock-lint: allow-std (the wrapper layer itself)
+#include <shared_mutex>        // lock-lint: allow-std (the wrapper layer itself)
+#include <utility>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define DCSN_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef DCSN_THREAD_ANNOTATION
+#define DCSN_THREAD_ANNOTATION(x)  // expands to nothing outside clang
+#endif
+
+/// Marks a type as a lockable capability ("mutex", "shared_mutex", ...).
+#define DCSN_CAPABILITY(x) DCSN_THREAD_ANNOTATION(capability(x))
+/// Marks an RAII type that acquires on construction, releases on destruction.
+#define DCSN_SCOPED_CAPABILITY DCSN_THREAD_ANNOTATION(scoped_lockable)
+/// Data member readable/writable only while `x` is held.
+#define DCSN_GUARDED_BY(x) DCSN_THREAD_ANNOTATION(guarded_by(x))
+/// Pointer member whose *pointee* is protected by `x`.
+#define DCSN_PT_GUARDED_BY(x) DCSN_THREAD_ANNOTATION(pt_guarded_by(x))
+/// Function precondition: the caller holds the capability exclusively.
+#define DCSN_REQUIRES(...) DCSN_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+/// Function precondition: the caller holds the capability at least shared.
+#define DCSN_REQUIRES_SHARED(...) \
+  DCSN_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+/// Function acquires the capability (and the caller must not hold it).
+#define DCSN_ACQUIRE(...) DCSN_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define DCSN_ACQUIRE_SHARED(...) \
+  DCSN_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+/// Function releases the capability (which the caller must hold).
+#define DCSN_RELEASE(...) DCSN_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define DCSN_RELEASE_SHARED(...) \
+  DCSN_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+/// Function acquires the capability iff it returns `b`.
+#define DCSN_TRY_ACQUIRE(...) \
+  DCSN_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+/// Function must be called with the capability NOT held (deadlock guard).
+#define DCSN_EXCLUDES(...) DCSN_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+/// Assert-at-runtime that the capability is held (analysis trusts it).
+#define DCSN_ASSERT_CAPABILITY(x) DCSN_THREAD_ANNOTATION(assert_capability(x))
+/// Function returns a reference to the named capability.
+#define DCSN_RETURN_CAPABILITY(x) DCSN_THREAD_ANNOTATION(lock_returned(x))
+/// Escape hatch: disable the analysis for one function. Every use must
+/// explain itself in a comment — see docs/STATIC_ANALYSIS.md.
+#define DCSN_NO_THREAD_SAFETY_ANALYSIS \
+  DCSN_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace dcsn::util {
+
+class CondVar;
+class MutexLock;
+
+/// std::mutex annotated as a thread-safety capability. Prefer MutexLock over
+/// calling lock()/unlock() directly (scripts/lock_lint.py bans direct calls
+/// outside this header).
+class DCSN_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() DCSN_ACQUIRE() { m_.lock(); }
+  void unlock() DCSN_RELEASE() { m_.unlock(); }
+  [[nodiscard]] bool try_lock() DCSN_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  friend class MutexLock;
+  std::mutex m_;
+};
+
+/// RAII lock over util::Mutex, modeled on std::unique_lock: constructed
+/// locked, destructor releases if still held, and unlock()/lock() support
+/// the unlock-before-notify and unlock-around-slow-work patterns the queue
+/// and service use.
+class DCSN_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) DCSN_ACQUIRE(mutex) : lock_(mutex.m_) {}
+  ~MutexLock() DCSN_RELEASE() = default;
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void unlock() DCSN_RELEASE() { lock_.unlock(); }
+  void lock() DCSN_ACQUIRE() { lock_.lock(); }
+  [[nodiscard]] bool owns_lock() const noexcept { return lock_.owns_lock(); }
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// std::condition_variable waiting on a util::MutexLock. The capability is
+/// treated as continuously held across a wait (see the header comment).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  void wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+
+  template <class Predicate>
+  void wait(MutexLock& lock, Predicate pred) {
+    cv_.wait(lock.lock_, std::move(pred));
+  }
+
+  template <class Rep, class Period>
+  std::cv_status wait_for(MutexLock& lock,
+                          const std::chrono::duration<Rep, Period>& timeout) {
+    return cv_.wait_for(lock.lock_, timeout);
+  }
+
+  template <class Rep, class Period, class Predicate>
+  bool wait_for(MutexLock& lock,
+                const std::chrono::duration<Rep, Period>& timeout,
+                Predicate pred) {
+    return cv_.wait_for(lock.lock_, timeout, std::move(pred));
+  }
+
+  template <class Clock, class Duration>
+  std::cv_status wait_until(
+      MutexLock& lock,
+      const std::chrono::time_point<Clock, Duration>& deadline) {
+    return cv_.wait_until(lock.lock_, deadline);
+  }
+
+  template <class Clock, class Duration, class Predicate>
+  bool wait_until(MutexLock& lock,
+                  const std::chrono::time_point<Clock, Duration>& deadline,
+                  Predicate pred) {
+    return cv_.wait_until(lock.lock_, deadline, std::move(pred));
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+/// std::shared_mutex annotated as a shared capability (reader/writer).
+class DCSN_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() DCSN_ACQUIRE() { m_.lock(); }
+  void unlock() DCSN_RELEASE() { m_.unlock(); }
+  void lock_shared() DCSN_ACQUIRE_SHARED() { m_.lock_shared(); }
+  void unlock_shared() DCSN_RELEASE_SHARED() { m_.unlock_shared(); }
+
+ private:
+  std::shared_mutex m_;
+};
+
+/// Exclusive (writer) RAII lock over util::SharedMutex.
+class DCSN_SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex& mutex) DCSN_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();  // lock-lint: allow-direct-lock (the RAII wrapper itself)
+  }
+  ~WriterLock() DCSN_RELEASE() {
+    mutex_.unlock();  // lock-lint: allow-direct-lock (the RAII wrapper itself)
+  }
+
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  SharedMutex& mutex_;
+};
+
+/// Shared (reader) RAII lock over util::SharedMutex.
+class DCSN_SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex& mutex) DCSN_ACQUIRE_SHARED(mutex)
+      : mutex_(mutex) {
+    mutex_.lock_shared();  // lock-lint: allow-direct-lock (the RAII wrapper itself)
+  }
+  ~ReaderLock() DCSN_RELEASE() {
+    mutex_.unlock_shared();  // lock-lint: allow-direct-lock (the RAII wrapper itself)
+  }
+
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  SharedMutex& mutex_;
+};
+
+}  // namespace dcsn::util

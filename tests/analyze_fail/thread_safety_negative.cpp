@@ -1,0 +1,47 @@
+// NEGATIVE COMPILE TEST for the Clang Thread Safety Analysis gate.
+//
+// This TU violates the locking discipline on purpose: it reads and writes a
+// DCSN_GUARDED_BY member without holding its mutex, and it calls a
+// DCSN_REQUIRES function without the capability. Under the `analyze` CMake
+// preset (clang with -Wthread-safety -Werror=thread-safety) building the
+// `analyze_fail_thread_safety` target MUST fail; scripts/analyze.sh treats a
+// successful compile as a gate failure, because it means the analysis is not
+// actually running (wrong compiler, dropped flag, broken macro gate).
+//
+// Under GCC the annotations expand to nothing and this compiles clean —
+// which is fine: the target is EXCLUDE_FROM_ALL and only analyze.sh builds
+// it, precisely to detect that situation.
+
+#include "util/thread_annotations.hpp"
+
+namespace dcsn {
+
+class Account {
+ public:
+  void deposit(int amount) {
+    balance_ += amount;  // VIOLATION: guarded write without mutex_
+  }
+
+  void audited_deposit(int amount) DCSN_REQUIRES(mutex_) { balance_ += amount; }
+
+  void audit() {
+    audited_deposit(1);  // VIOLATION: REQUIRES(mutex_) without holding it
+  }
+
+  [[nodiscard]] int balance() const {
+    return balance_;  // VIOLATION: guarded read without mutex_
+  }
+
+ private:
+  mutable util::Mutex mutex_;
+  int balance_ DCSN_GUARDED_BY(mutex_) = 0;
+};
+
+int consume() {
+  Account account;
+  account.deposit(41);
+  account.audit();
+  return account.balance();
+}
+
+}  // namespace dcsn

@@ -1,0 +1,29 @@
+// Fixture for scripts/lock_lint.py --self-test: every rule must trip here.
+// This tree is never compiled — it exists so the lint's own failure modes
+// are pinned by a test (a lint that silently stops firing is worse than no
+// lint).
+#pragma once
+
+#include <mutex>  // R1: raw std header, no waiver
+
+#include "util/thread_annotations.hpp"
+
+namespace dcsn::core {
+
+class BadLocking {
+ public:
+  void touch() {
+    mutex_.lock();  // R5: direct lock() outside the wrapper header
+    ++value_;
+    mutex_.unlock();
+  }
+
+ private:
+  util::Mutex mutex_;
+  util::Mutex orphan_mutex_;  // R2: referenced by no annotation
+  int value_ DCSN_GUARDED_BY(mutex_);
+  int typo_guarded_ DCSN_GUARDED_BY(mutx_);  // R3: names an undeclared mutex
+  int forgotten_ = 0;  // R4: unannotated member of a mutex-owning class
+};
+
+}  // namespace dcsn::core

@@ -1,0 +1,27 @@
+// Fixture for scripts/determinism_lint.py --self-test: trips D1, D2 and D3.
+// Never compiled. Named rasterizer.cpp because D3 (unquantized accumulation)
+// only arms in the accumulation hot files.
+
+#include <chrono>
+#include <random>
+
+namespace dcsn::render {
+
+float jitter() {
+  std::random_device entropy;  // D1: nondeterministic random source
+  return static_cast<float>(entropy()) / 4.0e9f;
+}
+
+double frame_budget() {
+  // D2: wall-clock read, no determinism waiver
+  const auto t = std::chrono::steady_clock::now();
+  return static_cast<double>(t.time_since_epoch().count());
+}
+
+void accumulate_row(float* row, int n, float value) {
+  for (int x = 0; x < n; ++x) {
+    row[x] += value;  // D3: no lattice quantization in sight
+  }
+}
+
+}  // namespace dcsn::render

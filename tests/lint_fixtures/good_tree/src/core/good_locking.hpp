@@ -1,0 +1,30 @@
+// Fixture for scripts/lock_lint.py --self-test: a fully disciplined file
+// exercising every waiver form. Must produce zero violations.
+#pragma once
+
+#include <atomic>
+
+#include "util/thread_annotations.hpp"
+
+namespace dcsn::core {
+
+class GoodLocking {
+ public:
+  void touch() {
+    util::MutexLock lock(mutex_);
+    ++value_;
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] int drain() DCSN_REQUIRES(mutex_) { return value_; }
+
+ private:
+  mutable util::Mutex mutex_;
+  util::CondVar cv_;
+  int value_ DCSN_GUARDED_BY(mutex_) = 0;
+  const int limit_ = 8;                // const: exempt
+  std::atomic<int> counter_{0};        // atomic: exempt
+  int scratch_ = 0;  // lock-lint: unguarded(touched by one thread only)
+};
+
+}  // namespace dcsn::core

@@ -1,0 +1,35 @@
+// Fixture for scripts/determinism_lint.py --self-test: the disciplined twin
+// of bad_tree's rasterizer.cpp. Must produce zero violations.
+
+#include <chrono>
+
+namespace dcsn::util::simd {
+float quantize_contribution(float v);
+}
+
+namespace dcsn::render {
+
+double stamp() {
+  // determinism: timing model only — the stamp never reaches a pixel.
+  const auto t = std::chrono::steady_clock::now();
+  return static_cast<double>(t.time_since_epoch().count());
+}
+
+void accumulate_row(float* row, int n, float raw) {
+  const float value = util::simd::quantize_contribution(raw);
+  for (int x = 0; x < n; ++x) {
+    row[x] += value;  // lattice-snapped: order-independent
+  }
+}
+
+struct Stats {
+  long fragments = 0;
+};
+
+void count(Stats& stats, const long* per_row, int n) {
+  for (int y = 0; y < n; ++y) {
+    stats.fragments += per_row[y];  // bookkeeping, not pixels: exempt
+  }
+}
+
+}  // namespace dcsn::render

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "render/colormap.hpp"
 #include "render/command_buffer.hpp"
@@ -55,6 +56,34 @@ TEST(Framebuffer, CopyRectPlacesTile) {
   EXPECT_EQ(big.at(3, 5), 0.0f);
   EXPECT_EQ(big.at(4, 4), 0.0f);
   EXPECT_THROW(big.copy_rect_from(tile, 7, 7), util::Error);
+}
+
+// Hostile origins near INT_MAX: naive `x0 + src.width() <= width()` wraps
+// (signed overflow, UB) and can ACCEPT an out-of-bounds rect. The checks
+// widen to 64-bit before adding; these inputs must throw, not wrap.
+TEST(Framebuffer, CopyRectRejectsOverflowingOrigin) {
+  render::Framebuffer big(8, 8), tile(3, 2);
+  const int huge = std::numeric_limits<int>::max() - 1;
+  EXPECT_THROW(big.copy_rect_from(tile, huge, 0), util::Error);
+  EXPECT_THROW(big.copy_rect_from(tile, 0, huge), util::Error);
+  EXPECT_THROW(big.copy_rect_from(tile, huge, huge), util::Error);
+  EXPECT_THROW(big.copy_rect_from(tile, -1, 0), util::Error);
+  EXPECT_THROW(big.copy_rect_from(tile, 0, -1), util::Error);
+}
+
+TEST(Framebuffer, ExtractRectRoundTripsAndRejectsHostileOrigins) {
+  render::Framebuffer big(8, 8), tile(3, 2);
+  big.clear(4.0f);
+  big.extract_rect_into(tile, 2, 3);
+  EXPECT_EQ(tile.at(0, 0), 4.0f);
+  EXPECT_EQ(tile.at(2, 1), 4.0f);
+
+  const int huge = std::numeric_limits<int>::max() - 1;
+  EXPECT_THROW(big.extract_rect_into(tile, huge, 0), util::Error);
+  EXPECT_THROW(big.extract_rect_into(tile, 0, huge), util::Error);
+  EXPECT_THROW(big.extract_rect_into(tile, huge, huge), util::Error);
+  EXPECT_THROW(big.extract_rect_into(tile, -1, -1), util::Error);
+  EXPECT_THROW(big.extract_rect_into(tile, 7, 7), util::Error);
 }
 
 TEST(Framebuffer, MeanAndMinMax) {
