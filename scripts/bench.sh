@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Machine-readable perf trajectory: runs the gated ablation benches and
 # checks their JSON reports in at the repo root (BENCH_raster.json,
-# BENCH_incremental.json, BENCH_service.json, BENCH_tile_cache.json), so
+# BENCH_incremental.json, BENCH_service.json, BENCH_tile_cache.json,
+# BENCH_robustness.json), so
 # each PR's performance can be diffed against the last instead of guessed.
 #
 #   scripts/bench.sh             # full workloads, refreshes BENCH_*.json
@@ -18,7 +19,7 @@ BUILD_DIR="${BUILD_DIR:-build}"
 JOBS="${JOBS:-$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)}"
 
 cmake -B "$BUILD_DIR" -S . >/dev/null
-cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_raster_kernel bench_incremental bench_service bench_tile_cache
+cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_raster_kernel bench_incremental bench_service bench_tile_cache bench_robustness
 
 # The script's --json comes first: parse_json_path takes the first match,
 # so this script always refreshes the checked-in reports regardless of
@@ -27,3 +28,4 @@ cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_raster_kernel bench_increme
 "$BUILD_DIR/bench/bench_incremental" --json BENCH_incremental.json "$@"
 "$BUILD_DIR/bench/bench_service" --json BENCH_service.json "$@"
 "$BUILD_DIR/bench/bench_tile_cache" --json BENCH_tile_cache.json "$@"
+"$BUILD_DIR/bench/bench_robustness" --json BENCH_robustness.json "$@"

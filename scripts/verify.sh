@@ -24,6 +24,16 @@
 #                                    # of the default ctest pass; this mode
 #                                    # is the quick pre-commit check after a
 #                                    # rendering change.
+#   scripts/verify.sh --faults       # fault-tolerance mode: runs only the
+#                                    # `faults`-labelled ctest entries (the
+#                                    # deterministic fault-injection matrix,
+#                                    # deadline/retry/breaker machinery and
+#                                    # the replay pin). The suite also runs
+#                                    # in the default ctest pass and under
+#                                    # --tsan/--asan; this mode is the quick
+#                                    # pre-commit check after touching the
+#                                    # injector, the service retry loop or
+#                                    # any engine fault site.
 #   scripts/verify.sh --asan         # build-asan: Address+UndefinedBehavior
 #                                    # sanitizers (-fno-sanitize-recover=all)
 #                                    # and the FULL ctest suite under them.
@@ -50,6 +60,7 @@ JOBS="${JOBS:-$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)}"
 RUN_TSAN=0
 RUN_BENCH_SMOKE=0
 RUN_GOLDEN_ONLY=0
+RUN_FAULTS_ONLY=0
 RUN_ASAN=0
 RUN_ANALYZE=0
 RUN_FORMAT_CHECK=0
@@ -58,10 +69,11 @@ for arg in "$@"; do
     --tsan) RUN_TSAN=1 ;;
     --bench-smoke) RUN_BENCH_SMOKE=1 ;;
     --golden) RUN_GOLDEN_ONLY=1 ;;
+    --faults) RUN_FAULTS_ONLY=1 ;;
     --asan) RUN_ASAN=1 ;;
     --analyze) RUN_ANALYZE=1 ;;
     --format-check) RUN_ANALYZE=1; RUN_FORMAT_CHECK=1 ;;
-    *) echo "unknown argument: $arg (supported: --tsan, --bench-smoke, --golden, --asan, --analyze, --format-check)" >&2; exit 2 ;;
+    *) echo "unknown argument: $arg (supported: --tsan, --bench-smoke, --golden, --faults, --asan, --analyze, --format-check)" >&2; exit 2 ;;
   esac
 done
 
@@ -96,6 +108,13 @@ if [[ "$RUN_GOLDEN_ONLY" -eq 1 ]]; then
   cmake --build "$BUILD_DIR" -j "$JOBS" --target test_golden_frames
   check_goldens
   (cd "$BUILD_DIR" && ctest --output-on-failure -L golden -j "$JOBS")
+  exit 0
+fi
+
+if [[ "$RUN_FAULTS_ONLY" -eq 1 ]]; then
+  echo "== fault-tolerance verification (ctest -L faults) =="
+  cmake --build "$BUILD_DIR" -j "$JOBS" --target test_faults
+  (cd "$BUILD_DIR" && ctest --output-on-failure -L faults -j "$JOBS")
   exit 0
 fi
 
@@ -139,7 +158,7 @@ if [[ "$RUN_TSAN" -eq 1 ]]; then
   # the pipe/queue machinery are the code where a data race would hide; run
   # exactly those suites instrumented. gtest discovery re-runs each binary,
   # so build only what we need.
-  TSAN_SUITES=(test_scheduling test_synthesizers test_service test_pipe test_tile_store test_util)
+  TSAN_SUITES=(test_scheduling test_synthesizers test_service test_pipe test_tile_store test_util test_faults)
   echo "== ThreadSanitizer pass (build-tsan) =="
   cmake --preset tsan
   cmake --build --preset tsan -j "$JOBS" --target "${TSAN_SUITES[@]}"

@@ -89,7 +89,8 @@ DncSynthesizer::DncSynthesizer(SynthesisConfig synthesis, DncConfig dnc,
     : synthesis_(synthesis),
       dnc_(dnc),
       runtime_(&runtime),
-      final_(synthesis.texture_width, synthesis.texture_height) {
+      final_(synthesis.texture_width, synthesis.texture_height),
+      faults_(runtime.faults()) {
   DCSN_CHECK(dnc_.pipes >= 1, "need at least one graphics pipe");
   DCSN_CHECK(dnc_.processors >= dnc_.pipes,
              "each pipe needs at least one processor (its master)");
@@ -168,6 +169,24 @@ std::int64_t DncSynthesizer::global_index(const Group& group,
   return group.tile_indices
              ? (*group.tile_indices)[static_cast<std::size_t>(local)]
              : group.begin + local;
+}
+
+void DncSynthesizer::submit_to_pipe(Group& group, render::CommandBuffer&& buffer,
+                                    const FaultInjector::Batch& submit_faults) const {
+  // The batch holds one pre-drawn decision per spot in the buffer, keyed by
+  // the spot's global index (see generate_chunk): whichever participant
+  // submits the buffer, on whichever pipe, after whatever stealing split
+  // the range, the decisions are the same — so a frame attempt fails under
+  // a given seed iff one of *its* spots is a throw-hit, independent of
+  // scheduling (the replay-determinism invariant).
+  if (faults_ != nullptr) {
+    faults_->apply(FaultSite::kPipeSubmit, submit_faults,
+                   control_ != nullptr ? &control_->delay_penalty_ns : nullptr);
+  }
+  group.pipe->submit(std::move(buffer));
+  if (control_ != nullptr) {
+    control_->progress.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 std::vector<double> DncSynthesizer::estimate_spot_costs(
@@ -277,7 +296,13 @@ FrameStats DncSynthesizer::synthesize(const field::VectorField& f,
                     tile.height};
         if (dirty) {
           auto& checkout = checkouts[static_cast<std::size_t>(g)];
-          checkout = store->probe(tile_keys[static_cast<std::size_t>(g)]);
+          // Fault site kStoreProbe is contained: a throw-hit is a failed
+          // lookup, and a failed lookup is a miss — render the tile.
+          if (fault_point_contained(FaultSite::kStoreProbe,
+                                    0x70726f6265ULL ^
+                                        static_cast<std::uint64_t>(g))) {
+            checkout = store->probe(tile_keys[static_cast<std::size_t>(g)]);
+          }
           group.cache_hit = static_cast<bool>(checkout);
           if (group.cache_hit) {
             stats.cache_tile_hits += 1;
@@ -435,27 +460,49 @@ FrameStats DncSynthesizer::synthesize(const field::VectorField& f,
         // Retained clean tile. Its pixels already sit in final_; publish
         // them on a miss so a long-lived incremental session still seeds
         // the store for other sessions ("a clean miss publishes after
-        // commit").
-        if (key != nullptr && !store->contains(*key)) {
+        // commit"). The publish is best-effort: an injected fault at
+        // either the publish or the checkout for its staging copy skips
+        // it — the frame's own pixels are already complete.
+        if (key != nullptr && !store->contains(*key) &&
+            fault_point_contained(FaultSite::kStorePublish,
+                                  0x7075626cULL ^
+                                      static_cast<std::uint64_t>(g)) &&
+            fault_point_contained(FaultSite::kFramebufferCheckout,
+                                  0x6662636fULL ^
+                                      static_cast<std::uint64_t>(g))) {
           render::Framebuffer copy = buffers.acquire(tile.width, tile.height);
           final_.extract_rect_into(copy, tile.x0, tile.y0);
           account_publish(store->publish(*key, std::move(copy)));
         }
         continue;
       }
+      // Fault site kFramebufferCheckout, mandatory path: the readback needs
+      // this buffer, so a throw-hit fails the frame (the gather runs
+      // single-threaded on the caller — the exception propagates directly,
+      // no buffer is held, and the store saw nothing partial).
+      fault_point(FaultSite::kFramebufferCheckout,
+                  0x6662636fULL ^ static_cast<std::uint64_t>(g));
       render::Framebuffer part = buffers.acquire(tile.width, tile.height);
       group.pipe->read_back_into(part);
       final_.copy_rect_from(part, tile.x0, tile.y0);
       stats.readback_bytes += part.byte_size();
-      if (key != nullptr) {
+      if (key != nullptr &&
+          fault_point_contained(FaultSite::kStorePublish,
+                                0x7075626cULL ^ static_cast<std::uint64_t>(g))) {
         // Zero-copy publish: the store takes the readback buffer itself
-        // (and recycles it into the same pool on duplicate/reject).
+        // (and recycles it into the same pool on duplicate/reject). A
+        // faulted publish is contained — the buffer goes straight back to
+        // the pool instead, so no census leak either way.
         account_publish(store->publish(*key, std::move(part)));
       } else {
         buffers.release(std::move(part));
       }
     }
   } else {
+    // The checkout fault precedes the clear on purpose: a throw-hit must
+    // leave final_ holding the previous completed frame (stale but intact),
+    // which is what a degraded serve hands out.
+    fault_point(FaultSite::kFramebufferCheckout, 0x6662636fULL);
     final_.clear();
     render::Framebuffer part =
         buffers.acquire(final_.width(), final_.height());
@@ -467,6 +514,16 @@ FrameStats DncSynthesizer::synthesize(const field::VectorField& f,
     buffers.release(std::move(part));
   }
   stats.gather_seconds = gather_watch.seconds();
+
+  // Authoritative deadline verdict. Every injected delay of this frame has
+  // been charged by now and this thread is the only one still running, so
+  // this check is a pure function of the workload and the fault seed: a
+  // frame whose total virtual penalty blew the budget times out on every
+  // replay, whether or not any mid-frame check happened to notice first
+  // (mid-frame observations depend on thread interleaving; the total does
+  // not). A throw here leaves final_ fully composed — the texture a
+  // degraded serve hands out is still a complete frame.
+  check_canceled();
 
   // Lattice-budget canary (see FrameStats::peak_pixel_magnitude): one pass
   // over the final texture, outside the modeled critical path.
@@ -625,7 +682,10 @@ void DncSynthesizer::run_master(Group& group, Slot& slot, bool is_caller) {
   if (group.active) group.pipe->clear();
 
   auto submit = [&](Message& msg) {
-    group.pipe->submit(std::move(msg.buffer));
+    // A throw-hit inside submit_to_pipe leaves the in-flight registration
+    // standing; that is fine — the frame fails, and the failed-frame
+    // cleanup in synthesize() resets every group's inflight to zero.
+    submit_to_pipe(group, std::move(msg.buffer), msg.submit_faults);
     group.inflight.fetch_sub(1, std::memory_order_seq_cst);
   };
 
@@ -639,7 +699,10 @@ void DncSynthesizer::run_master(Group& group, Slot& slot, bool is_caller) {
       continue;
     }
     if (const auto range = group.work->claim(); !range.empty()) {
-      group.pipe->submit(generate_chunk(group, range, slot, is_caller));
+      FaultInjector::Batch submit_faults;
+      render::CommandBuffer buffer =
+          generate_chunk(group, range, slot, is_caller, &submit_faults);
+      submit_to_pipe(group, std::move(buffer), submit_faults);
       continue;
     }
     if (dnc_.steal && master_steal_once(group, slot, is_caller)) continue;
@@ -662,6 +725,16 @@ void DncSynthesizer::run_master(Group& group, Slot& slot, bool is_caller) {
       if (group.inflight.load(std::memory_order_seq_cst) == 0) break;
       group.master_exited.store(false, std::memory_order_seq_cst);
       continue;  // a delivery registered in the window; stay for it
+    }
+    // Fault site kQueuePop (scheduling class): a drop models a spurious
+    // timeout — skip the wait and rescan, which is exactly the path a real
+    // spurious CV wakeup takes; the exit handshake must terminate through
+    // it. A delay models preemption before the wait.
+    if (faults_ != nullptr &&
+        faults_->check_scheduling(FaultSite::kQueuePop) ==
+            FaultInjector::Action::kDrop) {
+      std::this_thread::yield();
+      continue;
     }
     if (auto msg = group.inbox.pop_for(500us)) submit(*msg);
     // On timeout (or closed inbox) just rescan: the loop head re-checks
@@ -714,7 +787,10 @@ bool DncSynthesizer::master_steal_once(Group& me, Slot& slot, bool is_caller) {
     return true;  // raced with the owner; rescan
   }
   const util::ThreadCpuStopwatch watch;
-  Message msg{generate_chunk(*victim, range, slot, is_caller), range.size()};
+  Message msg;
+  msg.buffer = generate_chunk(*victim, range, slot, is_caller,
+                              &msg.submit_faults);
+  msg.items = range.size();
   slot.steal_seconds += watch.seconds();
   slot.stolen_chunks += 1;
   slot.stolen_spots += range.size();
@@ -729,7 +805,7 @@ bool DncSynthesizer::master_steal_once(Group& me, Slot& slot, bool is_caller) {
     // *create* raster imbalance on the tail of an already balanced frame.
     // A not-yet-running victim always renders on the thief (nobody drains
     // its inbox yet).
-    me.pipe->submit(std::move(msg.buffer));
+    submit_to_pipe(me, std::move(msg.buffer), msg.submit_faults);
     victim->inflight.fetch_sub(1, std::memory_order_seq_cst);
     return true;
   }
@@ -744,7 +820,7 @@ bool DncSynthesizer::master_steal_once(Group& me, Slot& slot, bool is_caller) {
   while (!victim->inbox.try_push_or_keep(msg)) {
     if (frame_failed_.load(std::memory_order_relaxed)) return true;
     if (auto own = me.inbox.try_pop()) {
-      me.pipe->submit(std::move(own->buffer));
+      submit_to_pipe(me, std::move(own->buffer), own->submit_faults);
       me.inflight.fetch_sub(1, std::memory_order_seq_cst);
     } else {
       std::this_thread::yield();
@@ -764,7 +840,10 @@ bool DncSynthesizer::producer_once(Slot& slot, int ordinal, bool is_caller) {
     std::atomic_thread_fence(std::memory_order_seq_cst);
     const auto range = own.work->claim();
     if (!range.empty()) {
-      Message msg{generate_chunk(own, range, slot, is_caller), range.size()};
+      Message msg;
+      msg.buffer = generate_chunk(own, range, slot, is_caller,
+                                  &msg.submit_faults);
+      msg.items = range.size();
       (void)own.inbox.push(std::move(msg));  // false = closed = frame failed
       return true;
     }
@@ -804,7 +883,10 @@ bool DncSynthesizer::producer_once(Slot& slot, int ordinal, bool is_caller) {
     return true;  // raced; rescan
   }
   const util::ThreadCpuStopwatch watch;
-  Message msg{generate_chunk(*victim, range, slot, is_caller), range.size()};
+  Message msg;
+  msg.buffer = generate_chunk(*victim, range, slot, is_caller,
+                              &msg.submit_faults);
+  msg.items = range.size();
   slot.steal_seconds += watch.seconds();
   slot.stolen_chunks += 1;
   slot.stolen_spots += range.size();
@@ -830,7 +912,7 @@ void DncSynthesizer::fail_frame(std::exception_ptr error) {
 
 render::CommandBuffer DncSynthesizer::generate_chunk(
     const Group& group, util::StealableWorkCounter::Range range, Slot& slot,
-    bool is_caller) {
+    bool is_caller, FaultInjector::Batch* submit_faults) {
   check_canceled();
   const util::ThreadCpuStopwatch watch;
   render::CommandBuffer buffer;
@@ -838,6 +920,18 @@ render::CommandBuffer DncSynthesizer::generate_chunk(
                  static_cast<std::size_t>(synthesis_.vertices_per_spot()));
   for (std::int64_t local = range.begin; local < range.end; ++local) {
     const std::int64_t k = global_index(group, local);
+    // Both outcome sites key on the spot's *global* index, not the chunk:
+    // every spot is generated exactly once per attempt no matter how
+    // stealing partitioned the counter, so the union of draws — and with
+    // it the attempt's verdict — is a pure function of workload and seed.
+    // kFieldSample strikes here (a poisoned field callback, or virtual
+    // delay charged against the deadline); the spot's kPipeSubmit decision
+    // is pre-drawn into the buffer's batch and strikes at submit time.
+    fault_point(FaultSite::kFieldSample,
+                0x6669656c64ULL ^ static_cast<std::uint64_t>(k));
+    fault_predraw(FaultSite::kPipeSubmit,
+                  0x7069706573ULL ^ static_cast<std::uint64_t>(k),
+                  submit_faults);
     job_generator_->generate(job_spots_[static_cast<std::size_t>(k)], buffer);
   }
   slot.genP_seconds += watch.seconds();
@@ -846,6 +940,10 @@ render::CommandBuffer DncSynthesizer::generate_chunk(
     // registered: capacity multiplexed across sessions.
     slot.cross_session_chunks += 1;
     slot.cross_session_spots += range.size();
+  }
+  // Chunk heartbeat for the no-progress watchdog.
+  if (control_ != nullptr) {
+    control_->progress.fetch_add(1, std::memory_order_relaxed);
   }
   return buffer;
 }

@@ -50,6 +50,7 @@
 #include <chrono>
 #include <cstdint>
 #include <exception>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -70,12 +71,49 @@
 namespace dcsn::core {
 
 /// Thrown out of synthesize() when the frame was abandoned because the
-/// job's cancellation token fired (see bind_cancel_token and
+/// job's cancellation token fired (see bind_frame_control and
 /// core::SynthesisService). The engine stays usable afterwards, exactly as
 /// with any other frame failure.
 class JobCanceled : public util::Error {
  public:
   JobCanceled() : util::Error("synthesis job canceled") {}
+};
+
+/// Thrown out of synthesize() when the frame exceeded its deadline budget:
+/// either the accumulated injected-delay penalty crossed
+/// FrameControl::deadline_penalty_ns (virtual time, deterministic) or an
+/// external watchdog flagged FrameControl::timed_out (wall time). Checked at
+/// the same chunk-granularity points as cancellation, so a timed-out frame
+/// abandons within one chunk and the engine rearms for the next job.
+/// Deliberately NOT a TransientError: retrying a frame that blew its
+/// deadline wastes the next deadline too — the service degrades or fails it.
+class JobTimedOut : public util::Error {
+ public:
+  JobTimedOut() : util::Error("synthesis job exceeded its deadline") {}
+};
+
+/// Per-job control block bound to the engine for the duration of one
+/// synthesize() call (SynthesisService binds one per dispatch attempt).
+/// The service and watchdog write the flags; the engine polls them at chunk
+/// granularity and charges injected delays / chunk progress back.
+struct FrameControl {
+  /// Caller-requested cancel: the frame aborts with JobCanceled.
+  std::atomic<bool> cancel{false};
+  /// External deadline/watchdog verdict: the frame aborts with JobTimedOut.
+  std::atomic<bool> timed_out{false};
+  /// Virtual nanoseconds of injected delay charged to this frame by the
+  /// FaultInjector. Pure function of (fault seed, fault_key, workload) over
+  /// a completed attempt — the deterministic half of deadline enforcement.
+  std::atomic<std::int64_t> delay_penalty_ns{0};
+  /// Chunks generated or submitted so far: the heartbeat a no-progress
+  /// watchdog compares between polls.
+  std::atomic<std::int64_t> progress{0};
+  /// Abort with JobTimedOut once delay_penalty_ns exceeds this budget.
+  std::int64_t deadline_penalty_ns = std::numeric_limits<std::int64_t>::max();
+  /// Stable per-attempt identity mixed into every outcome-site fault key,
+  /// so a retry of the same job draws a fresh (but still deterministic)
+  /// fault schedule.
+  std::uint64_t fault_key = 0;
 };
 
 /// How tiled mode carves the texture into per-pipe regions.
@@ -162,6 +200,13 @@ struct FrameStats {
   std::int64_t cache_evictions = 0;  ///< entries this frame's publishes evicted
   std::int64_t cache_spots_skipped = 0;  ///< assignments served by hits
   std::uint64_t cache_hit_bytes = 0;  ///< pixel bytes composed from the store
+
+  /// The frame was served degraded: the service answered with retained
+  /// stale pixels instead of synthesizing, because the deadline could not
+  /// be met (see SubmitOptions::DeadlinePolicy::kDegrade). The engine never
+  /// sets this — a synthesized frame is never degraded; the texture is the
+  /// previous completed frame's, bit-exact.
+  bool degraded = false;
 
   /// Largest |pixel| of the frame — the canary for the contribution
   /// lattice's exact-summation budget (util::simd::kContributionExactBound,
@@ -254,17 +299,26 @@ class DncSynthesizer {
   /// included). SynthesisCache uses it to detect frames it did not commit.
   [[nodiscard]] std::int64_t frame_serial() const { return frame_serial_; }
 
-  /// Binds a cancellation token checked at chunk granularity during the
-  /// frame: when `token` reads true mid-frame, the frame is abandoned
-  /// through the failure protocol and synthesize() throws JobCanceled.
-  /// Pass nullptr to unbind. Call between frames only (the service binds a
-  /// per-job token before dispatching).
-  void bind_cancel_token(const std::atomic<bool>* token) { cancel_token_ = token; }
+  /// Binds a per-job control block checked at chunk granularity during the
+  /// frame: a cancel flag aborts with JobCanceled, a timed_out flag or an
+  /// exhausted delay-penalty budget aborts with JobTimedOut — both through
+  /// the failure protocol, leaving the engine armed for the next job. The
+  /// block also carries the job's fault key and receives injected-delay
+  /// penalties and chunk progress. Pass nullptr to unbind. Call between
+  /// frames only (the service binds one per dispatch attempt).
+  void bind_frame_control(FrameControl* control) { control_ = control; }
 
  private:
   struct Message {
     render::CommandBuffer buffer;
     std::int64_t items = 0;  ///< spots covered by `buffer`
+    /// Pre-drawn kPipeSubmit decisions for every spot `buffer` carries,
+    /// drawn at generation time (where the owning group's global-index
+    /// mapping is in scope) and applied by whichever master submits the
+    /// buffer — so the fault outcome is keyed by *which spots* are
+    /// submitted, never by who submits them, when, or where the
+    /// work-stealing crossover happened to split the range.
+    FaultInjector::Batch submit_faults;
   };
 
   struct Group {
@@ -336,9 +390,17 @@ class DncSynthesizer {
   /// One steal attempt on behalf of a master; returns true if the scan
   /// should restart (work was done or raced away).
   bool master_steal_once(Group& me, Slot& slot, bool is_caller);
+  /// Generates one chunk of spot geometry. Per spot it checks the
+  /// kFieldSample fault site and pre-draws the spot's kPipeSubmit decision
+  /// into `submit_faults` (applied later by submit_to_pipe): per-*spot*
+  /// keys, not per-chunk, because chunk boundaries are not replay-stable —
+  /// StealableWorkCounter claims from the front and steals from the back,
+  /// so where the crossover chunk splits depends on the interleaving, and a
+  /// `range.begin` key would draw a different fault set every run.
   render::CommandBuffer generate_chunk(const Group& group,
                                        util::StealableWorkCounter::Range range,
-                                       Slot& slot, bool is_caller);
+                                       Slot& slot, bool is_caller,
+                                       FaultInjector::Batch* submit_faults);
   /// Largest-remaining victim, excluding `self`. Producers only see groups
   /// whose master runs (their delivery blocks on the inbox); masters may
   /// additionally raid not-yet-started groups (see the implementation for
@@ -348,11 +410,65 @@ class DncSynthesizer {
   /// blocked, and marks the frame failed.
   void fail_frame(std::exception_ptr error);
   void check_canceled() const {
-    if (cancel_token_ != nullptr &&
-        cancel_token_->load(std::memory_order_relaxed)) {
-      throw JobCanceled();
+    if (control_ == nullptr) return;
+    if (control_->cancel.load(std::memory_order_relaxed)) throw JobCanceled();
+    if (control_->timed_out.load(std::memory_order_relaxed) ||
+        control_->delay_penalty_ns.load(std::memory_order_relaxed) >
+            control_->deadline_penalty_ns) {
+      throw JobTimedOut();
     }
   }
+  /// Decorrelates the job's per-attempt fault key from the low-entropy
+  /// spot/tile subkeys before they are XORed together. Raw attempt keys are
+  /// often small consecutive integers, and `attempt ^ spot` collides across
+  /// attempts (1^0 == 0^1 == 1): retry N+1 would redraw almost exactly the
+  /// set of decisions that just failed retry N, so a doomed attempt stays
+  /// doomed forever. The splitmix64 finalizer pushes attempt identity into
+  /// the high bits first; mix(0) == 0, so an unbound control degenerates to
+  /// the bare subkey.
+  [[nodiscard]] static std::uint64_t mix_fault_key(std::uint64_t x) {
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+  /// Outcome-site fault check: keys the bound job's fault_key with a stable
+  /// per-spot/per-tile subkey and charges delay penalties to the job. A
+  /// no-op (one pointer test) when the runtime has no injector.
+  void fault_point(FaultSite site, std::uint64_t subkey) const {
+    if (faults_ == nullptr) return;
+    faults_->check(
+        site,
+        mix_fault_key(control_ != nullptr ? control_->fault_key : 0) ^ subkey,
+        control_ != nullptr ? &control_->delay_penalty_ns : nullptr);
+  }
+  /// Contained variant for sites where an injected throw degrades the
+  /// operation instead of failing the frame (a faulted probe is a miss, a
+  /// faulted publish is skipped): returns false on a throw-hit.
+  [[nodiscard]] bool fault_point_contained(FaultSite site,
+                                           std::uint64_t subkey) const {
+    try {
+      fault_point(site, subkey);
+      return true;
+    } catch (const FaultInjected&) {
+      return false;
+    }
+  }
+  /// Pre-draws one outcome-site decision for a stable subkey into `batch`
+  /// (pure; counters and effects deferred to the apply at the effect site).
+  /// A no-op when the runtime has no injector.
+  void fault_predraw(FaultSite site, std::uint64_t subkey,
+                     FaultInjector::Batch* batch) const {
+    if (faults_ == nullptr) return;
+    faults_->predraw(
+        site,
+        mix_fault_key(control_ != nullptr ? control_->fault_key : 0) ^ subkey,
+        batch);
+  }
+  /// All pipe submissions funnel here: applies the buffer's pre-drawn
+  /// per-spot kPipeSubmit batch, then submits and beats the chunk-progress
+  /// heartbeat.
+  void submit_to_pipe(Group& group, render::CommandBuffer&& buffer,
+                      const FaultInjector::Batch& submit_faults) const;
   /// Relative per-spot cost weights for the kd-cut; empty means uniform.
   [[nodiscard]] std::vector<double> estimate_spot_costs(
       std::span<const SpotInstance> spots) const;
@@ -374,7 +490,9 @@ class DncSynthesizer {
   std::vector<std::unique_ptr<Group>> groups_;  // lock-lint: unguarded(sized at construction)
   render::Framebuffer final_;       // lock-lint: unguarded(caller thread, between frames)
   std::int64_t frame_serial_ = 0;   // lock-lint: unguarded(caller thread, between frames)
-  const std::atomic<bool>* cancel_token_ = nullptr;  // lock-lint: unguarded(caller thread, between frames)
+  FrameControl* control_ = nullptr;  // lock-lint: unguarded(caller thread, between frames; pointee internally synchronized)
+  /// Cached runtime_->faults(); null disables every injection site.
+  FaultInjector* faults_ = nullptr;  // lock-lint: unguarded(immutable after construction)
 
   // Per-frame job state, written by synthesize() before the job opens and
   // read-only while participants run — publication happens-before via the

@@ -1,0 +1,147 @@
+#include "core/fault_injector.hpp"
+
+namespace dcsn::core {
+
+namespace {
+
+/// splitmix64: the standard strong 64-bit finalizer. Deterministic, seeded,
+/// no global state — the entire "randomness" of a fault schedule.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Burns CPU without reading any clock: iteration count is the unit.
+void spin(std::int64_t iterations) {
+  volatile std::uint64_t sink = 0;
+  for (std::int64_t i = 0; i < iterations; ++i) {
+    sink = sink + static_cast<std::uint64_t>(i);
+  }
+}
+
+}  // namespace
+
+const char* fault_site_name(FaultSite site) {
+  switch (site) {
+    case FaultSite::kWorkerPickup: return "worker-pickup";
+    case FaultSite::kQueuePop: return "queue-pop";
+    case FaultSite::kPipeSubmit: return "pipe-submit";
+    case FaultSite::kFieldSample: return "field-sample";
+    case FaultSite::kStoreProbe: return "store-probe";
+    case FaultSite::kStorePublish: return "store-publish";
+    case FaultSite::kFramebufferCheckout: return "framebuffer-checkout";
+  }
+  return "unknown";
+}
+
+FaultInjector::Action FaultInjector::decide(FaultSite site,
+                                            std::uint64_t key) const {
+  const FaultRule& rule = plan_.rule(site);
+  if (rule.throw_rate <= 0.0 && rule.delay_rate <= 0.0 && rule.drop_rate <= 0.0) {
+    return Action::kNone;
+  }
+  // One uniform draw per visit, from a per-site stream of the seed.
+  const std::uint64_t h = splitmix64(
+      plan_.seed ^ splitmix64(static_cast<std::uint64_t>(site) + 1) ^ key);
+  const double u =
+      static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);  // [0, 1)
+  if (u < rule.throw_rate) return Action::kThrow;
+  if (u < rule.throw_rate + rule.delay_rate) return Action::kDelay;
+  if (u < rule.throw_rate + rule.delay_rate + rule.drop_rate) return Action::kDrop;
+  return Action::kNone;
+}
+
+void FaultInjector::account(FaultSite site, Action action) {
+  SiteCounters& c = counters_[static_cast<std::size_t>(site)];
+  c.evaluations.fetch_add(1, std::memory_order_relaxed);
+  switch (action) {
+    case Action::kThrow: c.throws.fetch_add(1, std::memory_order_relaxed); break;
+    case Action::kDelay: c.delays.fetch_add(1, std::memory_order_relaxed); break;
+    case Action::kDrop: c.drops.fetch_add(1, std::memory_order_relaxed); break;
+    case Action::kNone: break;
+  }
+}
+
+FaultInjector::Action FaultInjector::check(FaultSite site, std::uint64_t key,
+                                           std::atomic<std::int64_t>* penalty_ns) {
+  const Action action = decide(site, key);
+  account(site, action);
+  if (action == Action::kThrow) throw FaultInjected(site);
+  if (action == Action::kDelay) {
+    const FaultRule& rule = plan_.rule(site);
+    if (penalty_ns != nullptr && rule.delay_seconds > 0.0) {
+      penalty_ns->fetch_add(static_cast<std::int64_t>(rule.delay_seconds * 1e9),
+                            std::memory_order_relaxed);
+    }
+    spin(rule.delay_spin_iterations);
+  }
+  return action;
+}
+
+void FaultInjector::predraw(FaultSite site, std::uint64_t key,
+                            Batch* batch) const {
+  ++batch->evaluations;
+  switch (decide(site, key)) {
+    case Action::kThrow: ++batch->throws; break;
+    case Action::kDelay: ++batch->delays; break;
+    case Action::kDrop: ++batch->drops; break;
+    case Action::kNone: break;
+  }
+}
+
+void FaultInjector::apply(FaultSite site, const Batch& batch,
+                          std::atomic<std::int64_t>* penalty_ns) {
+  SiteCounters& c = counters_[static_cast<std::size_t>(site)];
+  c.evaluations.fetch_add(batch.evaluations, std::memory_order_relaxed);
+  c.throws.fetch_add(batch.throws, std::memory_order_relaxed);
+  c.delays.fetch_add(batch.delays, std::memory_order_relaxed);
+  c.drops.fetch_add(batch.drops, std::memory_order_relaxed);
+  const FaultRule& rule = plan_.rule(site);
+  if (batch.delays > 0) {
+    if (penalty_ns != nullptr && rule.delay_seconds > 0.0) {
+      penalty_ns->fetch_add(
+          static_cast<std::int64_t>(batch.delays * rule.delay_seconds * 1e9),
+          std::memory_order_relaxed);
+    }
+    spin(batch.delays * rule.delay_spin_iterations);
+  }
+  if (batch.throws > 0) throw FaultInjected(site);
+}
+
+FaultInjector::Action FaultInjector::check_scheduling(FaultSite site) {
+  SiteCounters& c = counters_[static_cast<std::size_t>(site)];
+  const std::uint64_t key = c.arrivals.fetch_add(1, std::memory_order_relaxed);
+  Action action = decide(site, key);
+  if (action == Action::kThrow) action = Action::kDrop;  // never kill a worker
+  account(site, action);
+  if (action == Action::kDelay) spin(plan_.rule(site).delay_spin_iterations);
+  return action;
+}
+
+FaultInjector::Counters FaultInjector::counters() const {
+  Counters out;
+  for (int s = 0; s < kFaultSiteCount; ++s) {
+    const SiteCounters& c = counters_[static_cast<std::size_t>(s)];
+    out.evaluations[static_cast<std::size_t>(s)] =
+        c.evaluations.load(std::memory_order_relaxed);
+    out.throws[static_cast<std::size_t>(s)] = c.throws.load(std::memory_order_relaxed);
+    out.delays[static_cast<std::size_t>(s)] = c.delays.load(std::memory_order_relaxed);
+    out.drops[static_cast<std::size_t>(s)] = c.drops.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void FaultInjector::reset_counters() {
+  for (auto& c : counters_) {
+    c.evaluations.store(0, std::memory_order_relaxed);
+    c.throws.store(0, std::memory_order_relaxed);
+    c.delays.store(0, std::memory_order_relaxed);
+    c.drops.store(0, std::memory_order_relaxed);
+    // arrivals deliberately kept: resetting it would re-run the same
+    // scheduling prefix, which is not "the same run continuing".
+  }
+}
+
+}  // namespace dcsn::core

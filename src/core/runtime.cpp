@@ -116,6 +116,17 @@ void Runtime::worker_loop(int worker_id) {
       task();
       continue;
     }
+    // Fault site kWorkerPickup (scheduling class): a drop models a worker
+    // offering no capacity this round — it falls through to the epoch wait
+    // below, so the frame's calling thread (which always participates) keeps
+    // the frame live and nothing can hang; a delay models preemption before
+    // pickup. Never a throw: an exception here would kill the pool thread.
+    if (FaultInjector* faults = config_.fault_injector.get()) {
+      if (faults->check_scheduling(FaultSite::kWorkerPickup) ==
+          FaultInjector::Action::kDrop) {
+        jobs.clear();
+      }
+    }
     bool worked = false;
     for (const auto& job : jobs) worked = job->serve() || worked;
     if (worked) continue;

@@ -49,6 +49,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/fault_injector.hpp"
 #include "core/tile_store.hpp"
 #include "render/framebuffer_pool.hpp"
 #include "render/pipe.hpp"
@@ -72,6 +73,11 @@ struct RuntimeConfig {
   std::size_t tile_cache_bytes = 256u << 20;
   /// Lock shards of the tile cache.
   std::size_t tile_cache_shards = 8;
+  /// Deterministic fault injection (tests/torture only; see
+  /// core/fault_injector.hpp). Null — the default — disables every site at
+  /// the cost of one pointer check. Shared so torture harnesses can hold the
+  /// injector and read its counters after the runtime is gone.
+  std::shared_ptr<FaultInjector> fault_injector = nullptr;
 };
 
 class Runtime;
@@ -188,6 +194,12 @@ class Runtime {
   /// runtime shares the one store, a tile rendered by any session serves
   /// them all (bit-identically — see core/tile_store.hpp).
   [[nodiscard]] TileStore& tile_store() { return tile_store_; }
+
+  /// The runtime's fault injector, or null when none was configured.
+  /// Engines cache this pointer and consult it at their injection sites.
+  [[nodiscard]] FaultInjector* faults() const {
+    return config_.fault_injector.get();
+  }
 
   /// Pipes constructed because no pooled pipe matched (pool telemetry).
   [[nodiscard]] std::int64_t pipes_created() const;

@@ -1,0 +1,76 @@
+// The virtual service clock: deterministic time for deadlines and backoff.
+//
+// Retry backoff, circuit-breaker cooldowns and admission deadlines are all
+// *time* policies, but wall time is the one input the PR 4 determinism
+// machinery cannot reproduce — two runs of the same fault schedule would
+// retry at different instants and diverge. VirtualServiceClock replaces the
+// wall for those policies: a monotone atomic nanosecond counter that only
+// moves when something moves it. The SynthesisService advances it
+// discrete-event style — when every runnable session is blocked on a
+// not-before instant (a backoff retry, a breaker cooldown), an idle driver
+// jumps the clock straight to the earliest such instant — so a faulted run
+// consumes exactly the same sequence of timestamps every time, and
+// bench_robustness can demand that two runs of one fault seed produce
+// identical retry/timeout/degraded counters.
+//
+// Services without a virtual clock fall back to wall time (util::Stopwatch)
+// for these policies; that is the right default for production and the
+// wrong one for replay, which is why the clock is caller-injected.
+#pragma once
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+
+namespace dcsn::core {
+
+class VirtualServiceClock {
+ public:
+  VirtualServiceClock() = default;
+  VirtualServiceClock(const VirtualServiceClock&) = delete;
+  VirtualServiceClock& operator=(const VirtualServiceClock&) = delete;
+
+  [[nodiscard]] double now() const {
+    return static_cast<double>(ns_.load(std::memory_order_acquire)) * 1e-9;
+  }
+
+  /// Moves the clock forward by `seconds` (negative amounts are ignored).
+  /// Rounds up: any positive amount advances by at least one nanosecond, so
+  /// a caller looping on advance() always makes progress.
+  void advance(double seconds) {
+    if (seconds > 0.0) {
+      ns_.fetch_add(ns_after(seconds), std::memory_order_acq_rel);
+    }
+  }
+
+  /// Moves the clock forward to at least `seconds` since epoch. Monotone:
+  /// concurrent advances race benignly (the clock never goes backwards).
+  ///
+  /// The target rounds *up* one nanosecond past `seconds`: after
+  /// advance_to(t), now() compares >= t in double arithmetic. Truncating
+  /// instead (the obvious int64(t * 1e9)) can land the clock a nanosecond
+  /// short of an instant that is not an exact nanosecond multiple — and a
+  /// driver doing discrete-event hops to a parked deadline would then
+  /// re-derive the same wake-up instant, re-advance to the same truncated
+  /// tick, and spin forever without moving time.
+  void advance_to(double seconds) {
+    const std::int64_t target = ns_after(seconds);
+    std::int64_t current = ns_.load(std::memory_order_acquire);
+    while (current < target &&
+           !ns_.compare_exchange_weak(current, target,
+                                      std::memory_order_acq_rel)) {
+    }
+  }
+
+ private:
+  /// Nanosecond tick strictly past `seconds`: ceil plus a one-tick guard
+  /// against the product rounding, so tick * 1e-9 >= seconds always holds
+  /// for the magnitudes a virtual run reaches.
+  [[nodiscard]] static std::int64_t ns_after(double seconds) {
+    return static_cast<std::int64_t>(std::ceil(seconds * 1e9)) + 1;
+  }
+
+  std::atomic<std::int64_t> ns_{0};
+};
+
+}  // namespace dcsn::core

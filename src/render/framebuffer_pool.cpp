@@ -15,6 +15,7 @@ Framebuffer FramebufferPool::acquire(int width, int height) {
       idle_.pop_back();
       ++reuses_;
     }
+    ++outstanding_;
   }
   // Outside the lock: reset() re-validates the dimensions and zero-fills,
   // which is the whole checkout contract — a recycled buffer can never leak
@@ -28,6 +29,7 @@ Framebuffer FramebufferPool::acquire(int width, int height) {
 void FramebufferPool::release(Framebuffer&& buffer) {
   if (buffer.pixel_count() == 0) return;  // default-constructed: nothing to keep
   util::MutexLock lock(mutex_);
+  --outstanding_;
   if (idle_.size() >= max_idle_) {
     // Drop the oldest retained buffer instead of the incoming one: recent
     // sizes predict future acquires better.
@@ -44,6 +46,11 @@ std::size_t FramebufferPool::idle_count() const {
 std::int64_t FramebufferPool::reuse_count() const {
   util::MutexLock lock(mutex_);
   return reuses_;
+}
+
+std::int64_t FramebufferPool::outstanding_count() const {
+  util::MutexLock lock(mutex_);
+  return outstanding_;
 }
 
 }  // namespace dcsn::render

@@ -45,11 +45,19 @@ class FramebufferPool {
   /// acquire() calls served from a recycled buffer (vs fresh allocation).
   [[nodiscard]] std::int64_t reuse_count() const;
 
+  /// Buffers checked out and not yet returned (acquires minus releases).
+  /// This is the leak census the fault-matrix suite pins: after a torture
+  /// run drains, every buffer must be back in the pool or owned by a live
+  /// TileStore entry (which releases it on eviction), so outstanding_count
+  /// minus the store's entry count must equal its pre-torture value.
+  [[nodiscard]] std::int64_t outstanding_count() const;
+
  private:
   mutable util::Mutex mutex_;
   std::vector<Framebuffer> idle_ DCSN_GUARDED_BY(mutex_);
   const std::size_t max_idle_;
   std::int64_t reuses_ DCSN_GUARDED_BY(mutex_) = 0;
+  std::int64_t outstanding_ DCSN_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace dcsn::render

@@ -16,6 +16,16 @@ class Error : public std::runtime_error {
   explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// An Error the caller may reasonably retry: the failure was transient
+/// (an injected fault, a momentarily unavailable resource), not a property
+/// of the request itself. core::SynthesisService retries these with bounded
+/// exponential backoff when the job's SubmitOptions allow it; plain Errors
+/// are permanent and fail the job immediately.
+class TransientError : public Error {
+ public:
+  explicit TransientError(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 [[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
                                              int line, const std::string& msg) {

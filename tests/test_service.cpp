@@ -316,6 +316,92 @@ TEST(SynthesisService, ShutdownWithoutDrainCancelsPending) {
   EXPECT_GE(canceled, 3) << "pending jobs must be canceled, not silently run";
 }
 
+TEST(SynthesisService, OpenSessionAndSubmitRacingShutdownNeverHang) {
+  // Regression for the open/submit-vs-shutdown race: a client thread that
+  // loses the race must deterministically observe util::Error — never a
+  // hang, never a ticket whose future nobody resolves. Looped so the TSan
+  // run (scripts/verify.sh --tsan covers this suite) explores many
+  // interleavings of open_session, submit, and both shutdown flavors.
+  const Rect domain{0, 0, 2, 2};
+  const auto f = field::analytic::taylor_green(1.0, domain);
+  const auto config = small_config();
+  const auto spots = test_spots(config, domain);
+  for (int round = 0; round < 8; ++round) {
+    SynthesisService service({.drivers = 2});
+    const auto warm = service.open_session(config, small_dnc());
+    std::atomic<bool> go{false};
+    constexpr int kClients = 4;
+    std::vector<std::vector<SynthesisService::JobTicket>> tickets(kClients);
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (int who = 0; who < kClients; ++who) {
+      clients.emplace_back([&, who] {
+        while (!go.load(std::memory_order_acquire)) {
+        }
+        try {
+          for (int k = 0; k < 4; ++k) {
+            if (who % 2 == 0) {
+              (void)service.open_session(config, small_dnc());
+            } else {
+              core::SynthesisRequest req;
+              req.field = f.get();
+              req.spots = spots;
+              tickets[static_cast<std::size_t>(who)].push_back(
+                  service.submit(warm, std::move(req)));
+            }
+          }
+        } catch (const util::Error&) {
+          // Shutdown won the race: the one acceptable outcome besides
+          // success. Anything else (hang, crash, other exception) fails.
+        }
+      });
+    }
+    go.store(true, std::memory_order_release);
+    if (round % 4 >= 2) std::this_thread::sleep_for(std::chrono::microseconds(200 * (round % 4)));
+    service.shutdown(/*drain=*/round % 2 == 0);
+    for (auto& client : clients) client.join();
+    // Every ticket handed out before shutdown won must resolve: with a
+    // value when the drain ran it, with JobCanceled otherwise.
+    for (auto& per_client : tickets) {
+      for (auto& ticket : per_client) {
+        try {
+          (void)ticket.result.get();
+        } catch (const util::Error&) {
+        }
+      }
+    }
+  }
+}
+
+TEST(SynthesisService, AdmissionControlRejectsUnmeetableDeadline) {
+  const Rect domain{0, 0, 2, 2};
+  const auto f = field::analytic::taylor_green(1.0, domain);
+  const auto config = small_config();
+  const auto spots = test_spots(config, domain);
+  SynthesisService service({.drivers = 1});
+  const auto id = service.open_session(config, small_dnc());
+  // First frame completes normally and calibrates the session's PerfModel —
+  // admission control needs a prediction before it can refuse anything.
+  core::SynthesisRequest first;
+  first.field = f.get();
+  first.spots = spots;
+  EXPECT_NO_THROW((void)service.submit(id, std::move(first)).result.get());
+  // A deadline far below one predicted frame time is unmeetable at any
+  // queue depth: kReject fails fast at the door instead of timing out
+  // after a dispatch.
+  core::SynthesisRequest doomed;
+  doomed.field = f.get();
+  doomed.spots = spots;
+  core::SubmitOptions opt;
+  opt.deadline_seconds = 1e-12;
+  opt.policy = core::SubmitOptions::DeadlinePolicy::kReject;
+  EXPECT_THROW((void)service.submit(id, std::move(doomed), opt),
+               core::JobRejected);
+  const core::ServiceHealth health = service.health();
+  EXPECT_EQ(health.rejected, 1);
+  EXPECT_EQ(health.completed, 1);
+}
+
 // ------------------------------------------------- failure isolation ------
 
 TEST(SynthesisService, ExceptionInOneSessionDoesNotPoisonOthers) {
@@ -352,12 +438,37 @@ TEST(SynthesisService, ExceptionInOneSessionDoesNotPoisonOthers) {
     EXPECT_EQ(job.result.get().content_hash, expected)
         << "a failing session corrupted a healthy one";
   }
-  // The failing session itself recovers (the PR 2 frame-failure protocol).
-  core::SynthesisRequest recover;
-  recover.field = good.get();
-  recover.spots = spots;
-  EXPECT_EQ(service.submit(victim, std::move(recover)).result.get().content_hash,
-            expected);
+  // Three consecutive failures tripped the victim's circuit breaker: the
+  // session is quarantined, not torn down, and the bystander never noticed.
+  {
+    const core::ServiceHealth health = service.health();
+    ASSERT_EQ(health.sessions.size(), 2u);
+    EXPECT_EQ(health.sessions[0].breaker, core::BreakerState::kOpen);
+    EXPECT_EQ(health.sessions[0].consecutive_failures, 3);
+    EXPECT_EQ(health.sessions[0].breaker_trips, 1);
+    EXPECT_EQ(health.sessions[1].breaker, core::BreakerState::kClosed);
+    EXPECT_EQ(health.failed, 3);
+    EXPECT_EQ(health.breaker_trips, 1);
+  }
+  // The failing session itself recovers (the PR 2 frame-failure protocol)
+  // once the breaker cooldown elapses and the half-open probe succeeds.
+  const util::Stopwatch waited;
+  for (;;) {
+    core::SynthesisRequest recover;
+    recover.field = good.get();
+    recover.spots = spots;
+    try {
+      EXPECT_EQ(
+          service.submit(victim, std::move(recover)).result.get().content_hash,
+          expected);
+      break;
+    } catch (const core::SessionQuarantined&) {
+      ASSERT_LT(waited.seconds(), 30.0) << "breaker cooldown never elapsed";
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+  EXPECT_EQ(service.health().sessions[0].breaker, core::BreakerState::kClosed)
+      << "a successful half-open probe must re-close the breaker";
 }
 
 // ------------------------------------------- cross-session tile sharing ---
