@@ -56,6 +56,7 @@
 #include "core/synthesis_service.hpp"
 #include "field/analytic.hpp"
 #include "util/rng.hpp"
+#include "util/stats.hpp"
 #include "util/stopwatch.hpp"
 
 namespace {
@@ -221,14 +222,6 @@ TortureOutcome run_torture(int frames_per_session,
   return out;
 }
 
-double percentile(std::vector<double> values, double p) {
-  if (values.empty()) return 0.0;
-  std::sort(values.begin(), values.end());
-  const auto idx = static_cast<std::size_t>(
-      p * static_cast<double>(values.size() - 1) + 0.5);
-  return values[idx];
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -275,8 +268,8 @@ int main(int argc, char** argv) {
                 : 0.0;
   std::vector<double> latency_ms;
   for (const double s : first.latencies_seconds) latency_ms.push_back(s * 1e3);
-  const double p50_ms = percentile(latency_ms, 0.50);
-  const double p95_ms = percentile(latency_ms, 0.95);
+  const double p50_ms = util::percentile(latency_ms, 0.50);
+  const double p95_ms = util::percentile(latency_ms, 0.95);
 
   const bool replay_ok =
       replay_totals(first.health) == replay_totals(second.health) &&

@@ -33,6 +33,7 @@
 #include "core/synthesis_service.hpp"
 #include "field/analytic.hpp"
 #include "util/rng.hpp"
+#include "util/stats.hpp"
 #include "util/stopwatch.hpp"
 
 namespace {
@@ -47,14 +48,6 @@ struct JobSample {
   double queue_wait_seconds = 0.0;
   std::int64_t cross_session_chunks = 0;
 };
-
-double percentile(std::vector<double> values, double p) {
-  if (values.empty()) return 0.0;
-  std::sort(values.begin(), values.end());
-  const auto idx = static_cast<std::size_t>(
-      p * static_cast<double>(values.size() - 1) + 0.5);
-  return values[idx];
-}
 
 double mean_modeled(const std::vector<JobSample>& samples) {
   double sum = 0.0;
@@ -74,8 +67,8 @@ void print_phase(const char* name, const std::vector<JobSample>& samples) {
       "%-11s %3zu jobs  modeled %7.2f ms/frame  latency p50 %7.2f ms  "
       "p95 %7.2f ms  queue-wait p50 %6.2f ms  cross-session chunks %lld\n",
       name, samples.size(), mean_modeled(samples) * 1e3,
-      percentile(latency, 0.50), percentile(latency, 0.95),
-      percentile(waits, 0.50), static_cast<long long>(cross));
+      util::percentile(latency, 0.50), util::percentile(latency, 0.95),
+      util::percentile(waits, 0.50), static_cast<long long>(cross));
 }
 
 }  // namespace
@@ -203,8 +196,8 @@ int main(int argc, char** argv) {
     {
       std::vector<double> latency;
       for (const JobSample& s : concurrent) latency.push_back(s.latency_seconds * 1e3);
-      report.set("concurrent.latency_p50_ms", percentile(latency, 0.50));
-      report.set("concurrent.latency_p95_ms", percentile(latency, 0.95));
+      report.set("concurrent.latency_p50_ms", util::percentile(latency, 0.50));
+      report.set("concurrent.latency_p95_ms", util::percentile(latency, 0.95));
     }
     report.set("gate.aggregate_speedup", speedup);
     report.set("gate.target", target);

@@ -6,16 +6,19 @@
 #                                    # ThreadSanitizer (build-tsan, opt-in:
 #                                    # the instrumented build is ~10x slower)
 #   scripts/verify.sh --bench-smoke  # also run the rasterizer, incremental,
-#                                    # service and tile-cache ablation gates
-#                                    # on their small workloads (exits
+#                                    # service, tile-cache and streaming
+#                                    # gates on their small workloads (exits
 #                                    # nonzero if the span kernel loses its
 #                                    # >=1.5x margin / equivalence,
 #                                    # incremental reuse loses its modeled
 #                                    # speedup / bit-identity, 4 concurrent
 #                                    # sessions stop beating 2x one-at-a-time
-#                                    # modeled throughput, or 4 same-dataset
+#                                    # modeled throughput, 4 same-dataset
 #                                    # sessions through the shared tile store
-#                                    # cost more than 1.4x one session)
+#                                    # cost more than 1.4x one session, or
+#                                    # the frame server misses its latency
+#                                    # SLO / delta-bandwidth / bit-exactness
+#                                    # gates under 4 streamed clients)
 #   scripts/verify.sh --golden       # golden-frame mode: verifies the
 #                                    # checked-in goldens exist (exits
 #                                    # nonzero if missing, never skips) and
@@ -128,7 +131,7 @@ if [[ "$RUN_BENCH_SMOKE" -eq 1 ]]; then
   # incremental-resynthesis gate (modeled speedup + bit-identity to full
   # resynthesis). Full gates: scripts/bench.sh.
   echo "== rasterizer bench smoke (bench_raster_kernel --smoke) =="
-  cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_raster_kernel bench_incremental bench_service bench_tile_cache
+  cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_raster_kernel bench_incremental bench_service bench_tile_cache bench_stream
   "$BUILD_DIR/bench/bench_raster_kernel" --smoke
   echo "== incremental bench smoke (bench_incremental --smoke) =="
   "$BUILD_DIR/bench/bench_incremental" --smoke
@@ -136,6 +139,8 @@ if [[ "$RUN_BENCH_SMOKE" -eq 1 ]]; then
   "$BUILD_DIR/bench/bench_service" --smoke
   echo "== tile-cache bench smoke (bench_tile_cache --smoke) =="
   "$BUILD_DIR/bench/bench_tile_cache" --smoke
+  echo "== streaming bench smoke (bench_stream --smoke) =="
+  "$BUILD_DIR/bench/bench_stream" --smoke
 fi
 
 if [[ "$RUN_ASAN" -eq 1 ]]; then
@@ -158,7 +163,7 @@ if [[ "$RUN_TSAN" -eq 1 ]]; then
   # the pipe/queue machinery are the code where a data race would hide; run
   # exactly those suites instrumented. gtest discovery re-runs each binary,
   # so build only what we need.
-  TSAN_SUITES=(test_scheduling test_synthesizers test_service test_pipe test_tile_store test_util test_faults)
+  TSAN_SUITES=(test_scheduling test_synthesizers test_service test_pipe test_tile_store test_util test_faults test_net)
   echo "== ThreadSanitizer pass (build-tsan) =="
   cmake --preset tsan
   cmake --build --preset tsan -j "$JOBS" --target "${TSAN_SUITES[@]}"

@@ -92,6 +92,19 @@ class JobTimedOut : public util::Error {
   JobTimedOut() : util::Error("synthesis job exceeded its deadline") {}
 };
 
+/// Thrown out of synthesize() when the frame was abandoned because the
+/// scheduler asked it to yield its driver (FrameControl::yield): a
+/// higher-urgency job's deadline is at risk and every driver is busy. Like
+/// a cancel this rides the failure protocol — the engine rearms for the
+/// next job — but the *service* treats it differently: the job goes back to
+/// the front of its session queue with its attempt counter rolled back, so
+/// the re-dispatch redraws the identical fault schedule and consumes no
+/// retry budget. Client futures never observe this exception.
+class JobYielded : public util::Error {
+ public:
+  JobYielded() : util::Error("synthesis job yielded to a more urgent job") {}
+};
+
 /// Per-job control block bound to the engine for the duration of one
 /// synthesize() call (SynthesisService binds one per dispatch attempt).
 /// The service and watchdog write the flags; the engine polls them at chunk
@@ -101,6 +114,9 @@ struct FrameControl {
   std::atomic<bool> cancel{false};
   /// External deadline/watchdog verdict: the frame aborts with JobTimedOut.
   std::atomic<bool> timed_out{false};
+  /// Scheduler preemption request: the frame aborts with JobYielded at the
+  /// next chunk checkpoint, freeing its driver for a deadline-at-risk job.
+  std::atomic<bool> yield{false};
   /// Virtual nanoseconds of injected delay charged to this frame by the
   /// FaultInjector. Pure function of (fault seed, fault_key, workload) over
   /// a completed attempt — the deterministic half of deadline enforcement.
@@ -417,6 +433,7 @@ class DncSynthesizer {
             control_->deadline_penalty_ns) {
       throw JobTimedOut();
     }
+    if (control_->yield.load(std::memory_order_relaxed)) throw JobYielded();
   }
   /// Decorrelates the job's per-attempt fault key from the low-entropy
   /// spot/tile subkeys before they are XORed together. Raw attempt keys are

@@ -118,6 +118,7 @@ SynthesisService::JobTicket SynthesisService::submit(SessionId id,
     job->session_ordinal = session.submitted++;
     job->request = std::move(request);
     job->options = options;
+    job->enqueued_at_serve = serve_clock_;
     if (std::isfinite(options.deadline_seconds)) {
       job->deadline_at = now + options.deadline_seconds;
     }
@@ -126,6 +127,9 @@ SynthesisService::JobTicket SynthesisService::submit(SessionId id,
     ticket.result = job->promise.get_future();
     jobs_.emplace(job->id, job);
     session.queue.push_back(std::move(job));
+    // A tight-deadline submit into a saturated service may need a running
+    // frame out of the way before the queue position helps it.
+    maybe_preempt(now);
   }
   cv_.notify_all();
   return ticket;
@@ -206,6 +210,7 @@ ServiceHealth SynthesisService::health() const {
     row.retries = s.retries;
     row.timeouts = s.timeouts;
     row.canceled = s.canceled;
+    row.yielded = s.yielded;
     row.pending = static_cast<int>(s.queue.size());
     row.running = s.running;
     health.sessions.push_back(row);
@@ -229,9 +234,22 @@ bool SynthesisService::any_running() const {
                      [](const auto& s) { return s.second->running; });
 }
 
+int SynthesisService::effective_priority(const Session& session) const {
+  if (session.queue.empty()) return session.priority;
+  if (config_.priority_aging_dispatches <= 0) return session.priority;
+  // Age on the dispatch clock, not wall time: every job the service
+  // dispatched while this head waited is one tick of starvation evidence,
+  // and the count replays identically in wall and virtual-clock modes.
+  const std::int64_t waited =
+      serve_clock_ - session.queue.front()->enqueued_at_serve;
+  return session.priority +
+         static_cast<int>(waited / config_.priority_aging_dispatches);
+}
+
 SynthesisService::Session* SynthesisService::pick_session(double now,
                                                           double* wake_at) {
   Session* best = nullptr;
+  int best_effective = 0;
   for (auto& [id, entry] : sessions_) {
     Session& session = *entry;
     if (session.running || session.queue.empty()) continue;
@@ -249,13 +267,75 @@ SynthesisService::Session* SynthesisService::pick_session(double now,
       *wake_at = std::min(*wake_at, head.not_before);  // backoff wait
       continue;
     }
-    if (best == nullptr || session.priority > best->priority ||
-        (session.priority == best->priority &&
+    const int effective = effective_priority(session);
+    if (best == nullptr || effective > best_effective ||
+        (effective == best_effective &&
          session.last_served < best->last_served)) {
       best = &session;
+      best_effective = effective;
     }
   }
   return best;
+}
+
+void SynthesisService::maybe_preempt(double now) {
+  if (config_.yield_risk_factor <= 0.0) return;
+  // Risk is judged by the session PerfModel — measured calibration, which
+  // is exactly what replay harnesses switch off via admission_control.
+  if (!config_.admission_control) return;
+  int running = 0;
+  for (const auto& [id, session] : sessions_) running += session->running;
+  if (running < config_.drivers) return;  // a free driver dispatches normally
+  // The most urgent pending head whose deadline is at risk.
+  const Session* urgent = nullptr;
+  double urgent_slack = std::numeric_limits<double>::infinity();
+  for (const auto& [id, entry] : sessions_) {
+    const Session& session = *entry;
+    if (session.running || session.closed || session.queue.empty()) continue;
+    if (session.breaker == BreakerState::kOpen &&
+        now < session.breaker_open_until) {
+      continue;
+    }
+    const Job& head = *session.queue.front();
+    if (head.not_before > now || !std::isfinite(head.deadline_at)) continue;
+    if (!session.model_valid) continue;
+    const DncConfig& dnc = session.engine->dnc_config();
+    const double predicted = session.model.predict(
+        static_cast<std::int64_t>(head.request.spots.size()), dnc.processors,
+        dnc.pipes);
+    const double slack = head.deadline_at - now;
+    if (slack > predicted * config_.yield_risk_factor) continue;  // on track
+    if (urgent == nullptr || slack < urgent_slack) {
+      urgent = &session;
+      urgent_slack = slack;
+    }
+  }
+  if (urgent == nullptr) return;
+  // Victim: the running job with the most deadline slack. Never a session
+  // of higher configured priority, never a job with less slack than the
+  // job we would rescue (that only trades one miss for another), and never
+  // a job already past its yield allowance.
+  Job* victim = nullptr;
+  double victim_slack = -std::numeric_limits<double>::infinity();
+  for (const auto& [jid, job] : jobs_) {
+    if (job->state != JobState::kRunning) continue;
+    if (job->yields >= config_.max_job_yields) continue;
+    if (job->control.yield.load(std::memory_order_relaxed)) continue;
+    const auto session_it = sessions_.find(job->session);
+    if (session_it == sessions_.end()) continue;
+    if (session_it->second->priority > urgent->priority) continue;
+    const double slack = std::isfinite(job->deadline_at)
+                             ? job->deadline_at - now
+                             : std::numeric_limits<double>::infinity();
+    if (slack <= urgent_slack) continue;
+    if (victim == nullptr || slack > victim_slack) {
+      victim = job.get();
+      victim_slack = slack;
+    }
+  }
+  if (victim == nullptr) return;
+  victim->yields += 1;
+  victim->control.yield.store(true, std::memory_order_relaxed);
 }
 
 SynthesisService::DispatchMode SynthesisService::triage(const Session& session,
@@ -387,6 +467,7 @@ SynthesisService::RunResult SynthesisService::run_job(Session& session,
   // replay with the same submission program hits the same injected faults
   // regardless of how drivers interleave across sessions.
   job.control.timed_out.store(false, std::memory_order_relaxed);
+  job.control.yield.store(false, std::memory_order_relaxed);
   job.control.delay_penalty_ns.store(0, std::memory_order_relaxed);
   job.control.progress.store(0, std::memory_order_relaxed);
   job.control.deadline_penalty_ns =
@@ -437,6 +518,13 @@ SynthesisService::RunResult SynthesisService::run_job(Session& session,
       out.error = std::current_exception();
       out.outcome = Outcome::kTimedOut;
     }
+  } catch (const JobYielded&) {
+    // Preempted for a deadline-at-risk job, not failed: the frame goes back
+    // to the front of its session queue and reruns with the same attempt
+    // number (settle_job rolls it back), so the fault key — and therefore
+    // the injected fault schedule — is identical on the redo.
+    engine.bind_frame_control(nullptr);
+    out.outcome = Outcome::kYielded;
   } catch (...) {
     // Frame failures are session-local: the engine's failure protocol
     // already rearmed it, the cache's serial guard refuses the uncommitted
@@ -517,6 +605,26 @@ bool SynthesisService::settle_job(Session& session,
       ++totals_.canceled;
       break;
     }
+    case Outcome::kYielded: {
+      if (!session.closed && !(shutdown_ && !drain_) &&
+          !job->control.cancel.load(std::memory_order_relaxed)) {
+        ++session.yielded;
+        ++totals_.yielded;
+        // Roll the attempt back: a yield must not spend retry budget or
+        // perturb the (session, ordinal, attempt) fault key, or preemption
+        // would change which faults a replayed program observes.
+        job->attempt -= 1;
+        job->not_before = 0.0;
+        job->state = JobState::kPending;
+        session.queue.push_front(job);  // FIFO-within-session is preserved
+        return true;
+      }
+      result.value.reset();
+      result.error = std::make_exception_ptr(JobCanceled());
+      ++session.canceled;
+      ++totals_.canceled;
+      break;
+    }
   }
   // The books are settled; only now may the client's future resolve. A
   // waiter that wakes from this set_value and immediately calls health()
@@ -581,6 +689,9 @@ void SynthesisService::watchdog_loop() {
         job->control.timed_out.store(true, std::memory_order_relaxed);
       }
     }
+    // Deadlines drift toward risk while frames run; the watchdog tick is
+    // the periodic re-check that submit()-time preemption can't provide.
+    maybe_preempt(now);
   }
 }
 

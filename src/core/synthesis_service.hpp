@@ -116,6 +116,27 @@ struct ServiceConfig {
   /// Wall seconds of zero chunk progress before the watchdog times a
   /// running job out (<= 0 disables the no-progress check).
   double watchdog_no_progress_seconds = 30.0;
+  /// Priority aging, in dispatches: a waiting session's head job gains one
+  /// effective priority level for every `priority_aging_dispatches` jobs the
+  /// service dispatched while it waited, so strict priorities cannot starve
+  /// a low-priority session while a higher one keeps its queue full. Counted
+  /// on the deterministic dispatch clock (serve_clock_), never wall time, so
+  /// the dispatch order of a replayed submission program is replay-stable in
+  /// both wall and virtual-clock modes. 0 disables aging (strict
+  /// priorities — the pre-aging starvation behavior).
+  int priority_aging_dispatches = 8;
+  /// Chunk-granularity preemption: when every driver is busy and a pending
+  /// job's deadline is at risk (slack below `yield_risk_factor` times its
+  /// predicted frame time), the running job with the most slack and no
+  /// higher priority is asked to yield at its next chunk checkpoint. The
+  /// yielded job returns to the front of its queue with the attempt counter
+  /// rolled back — same fault schedule, no retry budget consumed. Needs
+  /// admission_control (predictions are measured, not replay-stable), so
+  /// replay harnesses are unaffected. <= 0 disables preemption.
+  double yield_risk_factor = 1.5;
+  /// Most yields one job may absorb before it becomes immune to further
+  /// preemption — bounds the work wasted on abandoned attempts.
+  int max_job_yields = 4;
 };
 
 /// Per-job service-level options: the deadline/retry/degradation contract.
@@ -188,6 +209,7 @@ struct SessionHealth {
   std::int64_t retries = 0;    ///< re-dispatches after transient failures
   std::int64_t timeouts = 0;   ///< jobs that blew their deadline
   std::int64_t canceled = 0;
+  std::int64_t yielded = 0;    ///< attempts abandoned for a more urgent job
   int pending = 0;
   bool running = false;
 };
@@ -203,6 +225,7 @@ struct ServiceHealth {
   std::int64_t canceled = 0;
   std::int64_t rejected = 0;     ///< JobRejected at admission
   std::int64_t quarantined = 0;  ///< SessionQuarantined at submit
+  std::int64_t yielded = 0;      ///< attempts abandoned for a more urgent job
   std::int64_t breaker_trips = 0;
   double clock_now = 0.0;  ///< service-clock reading at the snapshot
   std::vector<SessionHealth> sessions;  ///< open sessions, by id
@@ -277,7 +300,9 @@ class SynthesisService {
   enum class JobState { kPending, kRunning, kDone };
 
   /// What a dispatch attempt decided (applied to the books under mutex_).
-  enum class Outcome { kCompleted, kDegraded, kCanceled, kTimedOut, kFailed, kRetry };
+  enum class Outcome {
+    kCompleted, kDegraded, kCanceled, kTimedOut, kFailed, kRetry, kYielded,
+  };
 
   /// How the driver should treat the job it just popped (decided under
   /// mutex_ at dispatch, where the clock and the session model are
@@ -299,6 +324,11 @@ class SynthesisService {
     double deadline_at = std::numeric_limits<double>::infinity();  // service clock; guarded by mutex_
     double not_before = 0.0;  ///< earliest dispatch (backoff); guarded by mutex_
     int attempt = 0;          ///< dispatches so far; guarded by mutex_
+    /// serve_clock_ at submit — the birth instant priority aging measures
+    /// waited dispatches from (kept across retries and yields, so a long
+    /// wait keeps counting). Guarded by mutex_.
+    std::int64_t enqueued_at_serve = 0;
+    int yields = 0;  ///< preemptions absorbed (bounded); guarded by mutex_
     JobState state = JobState::kPending;  // guarded by mutex_
     // Watchdog bookkeeping (wall mode): last observed progress + stall ticks.
     std::int64_t watch_progress = -1;  // guarded by mutex_
@@ -330,6 +360,7 @@ class SynthesisService {
     std::int64_t retries = 0;
     std::int64_t timeouts = 0;
     std::int64_t canceled = 0;
+    std::int64_t yielded = 0;
   };
 
   /// run_job's report back to the driver's bookkeeping pass. The attempt's
@@ -351,12 +382,24 @@ class SynthesisService {
     return config_.virtual_clock != nullptr ? config_.virtual_clock->now()
                                             : uptime_.seconds();
   }
-  /// Highest-priority session with a runnable head job; equal priorities go
-  /// to the least recently served. Sessions blocked on a future instant
+  /// Highest *effective* priority session with a runnable head job — the
+  /// configured priority plus dispatch-count aging (see
+  /// ServiceConfig::priority_aging_dispatches) — equal effective priorities
+  /// go to the least recently served. Sessions blocked on a future instant
   /// (backoff, breaker cooldown) lower `wake_at` instead. Performs the
   /// open → half-open breaker transition when a cooldown has elapsed.
   [[nodiscard]] Session* pick_session(double now, double* wake_at)
       DCSN_REQUIRES(mutex_);
+  /// priority + age of the session's head job, in aging steps.
+  [[nodiscard]] int effective_priority(const Session& session) const
+      DCSN_REQUIRES(mutex_);
+  /// Deadline-at-risk preemption (see ServiceConfig::yield_risk_factor):
+  /// when every driver is busy and a pending head job's deadline is at
+  /// risk, flags the most-slack running job of no higher priority to yield
+  /// at its next chunk checkpoint. Called where the risk picture changes:
+  /// submit (a new urgent job arrives) and the watchdog tick (waiting
+  /// erodes slack).
+  void maybe_preempt(double now) DCSN_REQUIRES(mutex_);
   /// Deadline triage for the job about to dispatch (see DispatchMode).
   [[nodiscard]] DispatchMode triage(const Session& session, const Job& job,
                                     double now) const DCSN_REQUIRES(mutex_);

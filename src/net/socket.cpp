@@ -1,0 +1,168 @@
+#include "net/socket.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace dcsn::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw util::Error(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Socket::~Socket() { close(); }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+void Socket::send_all(const void* data, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  while (n > 0) {
+    // MSG_NOSIGNAL: a vanished peer must surface as EPIPE, not SIGPIPE.
+    const ssize_t sent = ::send(fd_, p, n, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("send");
+    }
+    p += sent;
+    n -= static_cast<std::size_t>(sent);
+  }
+}
+
+bool Socket::recv_exact(void* data, std::size_t n) {
+  auto* p = static_cast<std::uint8_t*>(data);
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd_, p + got, n - got, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("recv");
+    }
+    if (r == 0) {
+      if (got == 0) return false;  // clean EOF at a boundary
+      throw ProtocolError("connection closed mid-message");
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+void Socket::shutdown_read() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RD);
+}
+
+void Socket::shutdown_write() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::pair<Socket, Socket> Socket::pair() {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    throw_errno("socketpair");
+  }
+  return {Socket(fds[0]), Socket(fds[1])};
+}
+
+Socket listen_unix(const std::string& path, int backlog) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw util::Error("unix socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  Socket s(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!s.valid()) throw_errno("socket");
+  ::unlink(path.c_str());  // stale socket file from a previous run
+  if (::bind(s.fd(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    throw_errno("bind " + path);
+  }
+  if (::listen(s.fd(), backlog) != 0) throw_errno("listen " + path);
+  return s;
+}
+
+std::optional<Socket> accept_connection(Socket& listener, int timeout_ms) {
+  pollfd p{listener.fd(), POLLIN, 0};
+  const int rc = ::poll(&p, 1, timeout_ms);
+  if (rc < 0) {
+    if (errno == EINTR) return std::nullopt;
+    throw_errno("poll");
+  }
+  if (rc == 0) return std::nullopt;  // timeout
+  const int fd = ::accept(listener.fd(), nullptr, nullptr);
+  if (fd < 0) return std::nullopt;  // racing close/shutdown: caller re-checks
+  return Socket(fd);
+}
+
+Socket connect_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw util::Error("unix socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  Socket s(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!s.valid()) throw_errno("socket");
+  if (::connect(s.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    throw_errno("connect " + path);
+  }
+  return s;
+}
+
+void send_message(Socket& socket, MsgType type,
+                  std::span<const std::uint8_t> payload) {
+  const std::vector<std::uint8_t> framed = frame_message(type, payload);
+  socket.send_all(framed.data(), framed.size());
+}
+
+bool read_message(Socket& socket, MsgType* type,
+                  std::vector<std::uint8_t>* payload) {
+  std::uint8_t header[kHeaderBytes];
+  if (!socket.recv_exact(header, sizeof(header))) return false;
+  std::uint32_t magic = 0;
+  for (int i = 0; i < 4; ++i) {
+    magic |= static_cast<std::uint32_t>(header[i]) << (8 * i);
+  }
+  if (magic != kMagic) throw ProtocolError("bad message magic");
+  const std::uint8_t raw_type = header[4];
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<std::uint32_t>(header[5 + i]) << (8 * i);
+  }
+  // Reject the declared length *before* allocating: a corrupt or hostile
+  // prefix must not become a multi-gigabyte resize.
+  if (len > kMaxPayloadBytes) {
+    throw ProtocolError("declared payload length exceeds limit");
+  }
+  payload->resize(len);
+  if (len > 0 && !socket.recv_exact(payload->data(), len)) {
+    throw ProtocolError("connection closed mid-message");
+  }
+  *type = static_cast<MsgType>(raw_type);
+  return true;
+}
+
+}  // namespace dcsn::net

@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file stats.hpp
+/// Small shared statistics helpers for benches and demos.
+///
+/// Exists because three tools (serve_demo, bench_service, bench_robustness)
+/// each grew a private percentile() with subtly different rounding and —
+/// in one case — no empty-vector guard (UB when a client completes zero
+/// frames, e.g. under fault plans). One definition, one rounding rule.
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace dcsn::util {
+
+/// Percentile of `values` by nearest-rank interpolation on the sorted
+/// sample: index round(p * (n - 1)). `p` is clamped to [0, 1]; an empty
+/// sample yields 0.0 instead of indexing out of bounds. Takes the vector
+/// by value — callers keep their sample order.
+[[nodiscard]] inline double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  std::sort(values.begin(), values.end());
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(values.size() - 1) + 0.5);
+  return values[idx];
+}
+
+}  // namespace dcsn::util

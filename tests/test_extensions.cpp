@@ -296,23 +296,28 @@ TEST(PipelinedAnimator, OverlapHidesPreparation) {
   ac.normalize = false;
   core::PipelinedAnimator animator(ac, synth, particles, slow_read);
   (void)animator.step();  // warm the pipeline
-  double pipelined = 0.0;
-  for (int k = 0; k < 3; ++k) pipelined += animator.step().total_seconds;
-  pipelined /= 3;
+  util::ThreadCpuStopwatch pipelined_cpu;
+  for (int k = 0; k < 3; ++k) (void)animator.step();
+  const double pipelined = pipelined_cpu.seconds() / 3;
 
   // Sequential reference: same work, no overlap.
   particles::ParticleSystem particles2(pc, domain, util::Rng(2));
   core::Animator sequential(ac, synth, particles2, slow_read);
   (void)sequential.step();
-  double serial = 0.0;
-  for (int k = 0; k < 3; ++k) serial += sequential.step().total_seconds;
-  serial /= 3;
+  util::ThreadCpuStopwatch serial_cpu;
+  for (int k = 0; k < 3; ++k) (void)sequential.step();
+  const double serial = serial_cpu.seconds() / 3;
 
-  // Without overlap, pipelined == serial up to scheduler noise (a few ms
-  // here), so consistently hiding a third of the read delay already proves
-  // the pipeline works. The margin is deliberately below half: on a loaded
-  // one-core host the prepare thread only advances during engine stalls,
-  // and demanding most of the delay hidden made this flake under load.
+  // Measured on the CALLER's thread-CPU clock, not wall clock. The
+  // pipelined animator hands prepare (and its busy-wait read) to a pool
+  // worker via Runtime::async, so the caller's CPU time per step excludes
+  // the read delay entirely; the serial Animator spins through slow_read on
+  // the caller itself, so its CPU time includes it. Wall-clock versions of
+  // this assertion flaked on loaded one-core hosts (neighbor tests inflated
+  // the pipelined steps); a thread-CPU clock does not advance while the
+  // caller is preempted, so host load cancels out of both sides. The margin
+  // stays below half the delay for the one effect load can still have: the
+  // serial spin accrues CPU only while scheduled.
   EXPECT_LT(pipelined, serial - 0.35 * kReadDelay);
 }
 

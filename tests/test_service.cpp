@@ -9,6 +9,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <deque>
 #include <future>
 #include <thread>
 #include <vector>
@@ -187,6 +188,161 @@ TEST(SynthesisService, PriorityAndFairnessOrderDispatch) {
   // Fairness: after A1 ran, B has been served less recently than A, so B1
   // must beat A2.
   EXPECT_LT(seq_b1, seq_a2) << "equal-priority sessions round-robin";
+}
+
+TEST(SynthesisService, StrictPriorityStarvesWithoutAging) {
+  // The starvation regression the aging knob exists for. One driver, a
+  // high-priority session that keeps its queue full, and one low-priority
+  // job submitted *before* all of the high ones. With aging disabled
+  // (priority_aging_dispatches = 0 — the pre-aging strict behavior) the
+  // low job is served dead last; with the default aging it gains one
+  // effective level per 8 dispatches waited, catches the high session, and
+  // is dispatched well before the high queue drains.
+  // The high session must *refill* its queue with fresh jobs (a closed
+  // loop keeping several in flight): a fresh high job has waited zero
+  // dispatches while the parked low job's wait keeps growing, which is
+  // exactly the gap aging closes — a static pre-submitted batch would age
+  // both queues in lockstep and prove nothing.
+  const Rect domain{0, 0, 2, 2};
+  const auto f = field::analytic::taylor_green(1.0, domain);
+  auto config = small_config();
+  config.spot_count = 120;
+  const auto spots = test_spots(config, domain);
+  constexpr int kHighJobs = 24;
+  // Feeder's collection depth — bounds memory, not correctness (the gate
+  // fields below are what keep the high queue non-empty).
+  constexpr std::size_t kInflight = 4;
+
+  // One run per aging setting; returns (low seq, last high seq).
+  const auto run = [&](int aging) {
+    SynthesisService service(
+        {.drivers = 1, .priority_aging_dispatches = aging});
+    const auto low = service.open_session(config, small_dnc(), /*priority=*/0);
+    const auto high = service.open_session(config, small_dnc(), /*priority=*/1);
+
+    // "Keeps its queue full" must hold under ANY host scheduling: timed
+    // spins raced the feeder on loaded one-core hosts (the driver could
+    // drain the whole queue during one feeder deschedule, handing the low
+    // job an early dispatch and a bogus strict-run failure). Instead, high
+    // job k's field blocks until `released` > k, and the feeder advances
+    // `released` to k only *after* submitting job k — so the driver cannot
+    // finish job k-1 before job k is queued, and the high queue is provably
+    // non-empty at every dispatch until the last high job. Deterministic,
+    // no timing dependence.
+    std::atomic<int> released{-1};
+    std::vector<std::unique_ptr<field::VectorField>> gates;
+    for (int k = 0; k < kHighJobs; ++k) {
+      gates.push_back(std::make_unique<field::CallableField>(
+          [&released, k](field::Vec2 p) -> field::Vec2 {
+            while (released.load(std::memory_order_acquire) <= k) {
+              std::this_thread::yield();
+            }
+            return {0.2 * p.y + 0.1, -0.2 * p.x + 0.1};
+          },
+          domain, 1.0));
+    }
+    auto request = [&](const field::VectorField& field) {
+      core::SynthesisRequest req;
+      req.field = &field;
+      req.spots = spots;
+      return req;
+    };
+
+    std::deque<SynthesisService::JobTicket> inflight;
+    std::int64_t last_high_seq = 0;
+    const auto drain_to = [&](std::size_t depth) {
+      while (inflight.size() > depth) {
+        last_high_seq = std::max(last_high_seq,
+                                 inflight.front().result.get().service_seq);
+        inflight.pop_front();
+      }
+    };
+    // High job 0 doubles as the pin: submitted before the low job, it holds
+    // the driver until `released` reaches 1, which only happens after the
+    // low job AND high job 1 are queued.
+    inflight.push_back(service.submit(high, request(*gates[0])));
+    auto low_ticket = service.submit(low, request(*f));
+    for (int k = 1; k < kHighJobs; ++k) {
+      inflight.push_back(
+          service.submit(high, request(*gates[static_cast<std::size_t>(k)])));
+      released.store(k, std::memory_order_release);  // job k-1 may now finish
+      drain_to(kInflight - 1);
+    }
+    released.store(kHighJobs, std::memory_order_release);
+    drain_to(0);
+    const std::int64_t low_seq = low_ticket.result.get().service_seq;
+    return std::pair(low_seq, last_high_seq);
+  };
+
+  const auto [strict_low, strict_last_high] = run(/*aging=*/0);
+  EXPECT_GT(strict_low, strict_last_high)
+      << "strict priorities must starve the low session until the high "
+         "queue drains (the documented pre-aging behavior)";
+
+  const auto [aged_low, aged_last_high] = run(/*aging=*/8);
+  EXPECT_LT(aged_low, aged_last_high)
+      << "aging must dispatch the starved low-priority job before the "
+         "high-priority queue drains";
+}
+
+TEST(SynthesisService, DeadlineAtRiskPreemptsViaChunkYield) {
+  // A long low-urgency frame holds the only driver while a deadline job
+  // arrives: the runner must be asked to yield at its next chunk
+  // checkpoint, the urgent job runs, and the yielded frame redoes from the
+  // front of its queue — bit-identical, with the attempt counter rolled
+  // back (a yield is not a retry).
+  const Rect domain{0, 0, 2, 2};
+  const auto f = field::analytic::taylor_green(1.0, domain);
+  const auto slow = slow_field(domain, 100e-6);
+  auto config = small_config();
+  const auto spots = test_spots(config, domain);
+
+  // An effectively infinite risk factor makes any finite deadline count as
+  // at-risk — the test targets the yield protocol, not the slack estimate.
+  SynthesisService service({.drivers = 1, .yield_risk_factor = 1e9});
+  const auto slow_session = service.open_session(config, small_dnc());
+  const auto urgent_session = service.open_session(config, small_dnc());
+
+  // Calibrate the urgent session's PerfModel (admission needs a completed
+  // frame before it can predict).
+  {
+    core::SynthesisRequest req;
+    req.field = f.get();
+    req.spots = spots;
+    (void)service.submit(urgent_session, std::move(req)).result.get();
+  }
+
+  core::SynthesisRequest long_req;
+  long_req.field = slow.get();
+  long_req.spots = spots;
+  auto long_ticket = service.submit(slow_session, std::move(long_req));
+  // Wait until the long frame definitely occupies the driver.
+  while (service.pending_jobs() > 0) std::this_thread::yield();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+
+  core::SynthesisRequest urgent_req;
+  urgent_req.field = f.get();
+  urgent_req.spots = spots;
+  core::SubmitOptions deadline;
+  deadline.deadline_seconds = 30.0;  // finite => at risk under the huge factor
+  auto urgent_ticket =
+      service.submit(urgent_session, std::move(urgent_req), deadline);
+
+  const auto urgent_result = urgent_ticket.result.get();
+  const auto long_result = long_ticket.result.get();
+  EXPECT_LT(urgent_result.service_seq, long_result.service_seq)
+      << "the urgent job must be dispatched before the yielded redo";
+  EXPECT_EQ(long_result.attempts, 1)
+      << "a yield rolls the attempt counter back — it is not a retry";
+
+  const auto health = service.health();
+  EXPECT_GE(health.yielded, 1) << "the long frame must have yielded";
+
+  // Bit-exactness across the yield: the redone frame equals a fresh solo
+  // engine's run of the same scene.
+  core::DncSynthesizer solo(config, small_dnc());
+  solo.synthesize(*slow, spots);
+  EXPECT_EQ(long_result.content_hash, solo.texture().content_hash());
 }
 
 TEST(SynthesisService, SecondJobAccountsQueueWait) {

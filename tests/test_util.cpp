@@ -15,6 +15,7 @@
 #include "util/queue.hpp"
 #include "util/rng.hpp"
 #include "util/span2d.hpp"
+#include "util/stats.hpp"
 #include "util/stopwatch.hpp"
 #include "util/thread_annotations.hpp"
 #include "util/threading.hpp"
@@ -542,6 +543,35 @@ TEST(ThreadAnnotations, WriterLockExcludesReaders) {
     writer_done.store(true);
   }
   reader.join();
+}
+
+// ----------------------------------------------------------- statistics ---
+
+TEST(Stats, PercentileNearestRank) {
+  const std::vector<double> values = {5.0, 1.0, 3.0, 2.0, 4.0};  // unsorted
+  EXPECT_EQ(util::percentile(values, 0.0), 1.0);
+  EXPECT_EQ(util::percentile(values, 0.5), 3.0);
+  EXPECT_EQ(util::percentile(values, 1.0), 5.0);
+  // index round(0.95 * 4) = 4 — the nearest-rank rule every caller shares.
+  EXPECT_EQ(util::percentile(values, 0.95), 5.0);
+  EXPECT_EQ(util::percentile(values, 0.25), 2.0);
+}
+
+TEST(Stats, PercentileGuardsEmptyAndClampsP) {
+  // The guard this helper was extracted for: an empty sample (a client
+  // that completed zero frames) must yield 0.0, not index out of bounds.
+  EXPECT_EQ(util::percentile({}, 0.95), 0.0);
+  const std::vector<double> one = {7.0};
+  EXPECT_EQ(util::percentile(one, 0.5), 7.0);
+  EXPECT_EQ(util::percentile(one, -3.0), 7.0);  // p clamped to [0, 1]
+  EXPECT_EQ(util::percentile(one, 42.0), 7.0);
+}
+
+TEST(Stats, PercentileDoesNotReorderCallerSample) {
+  const std::vector<double> values = {9.0, 1.0, 5.0};
+  const std::vector<double> copy = values;
+  (void)util::percentile(values, 0.5);
+  EXPECT_EQ(values, copy) << "percentile takes its sample by value";
 }
 
 }  // namespace
