@@ -11,6 +11,7 @@
 #include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/rng.hpp"
+#include "util/simd_dispatch.hpp"
 
 #ifndef DCSN_BENCH_OUT_DIR
 #define DCSN_BENCH_OUT_DIR "bench_out"
@@ -342,11 +343,25 @@ bool JsonReport::write(const std::string& path) const {
     std::printf("warning: cannot open %s for the JSON report\n", path.c_str());
     return false;
   }
+  // Stamp the dispatched kernel tier and host ISA into every report (unless
+  // the bench set them itself, e.g. a tier-ablation bench).
+  auto entries = entries_;
+  auto append_if_absent = [&entries](const char* key, const std::string& value) {
+    for (const auto& [existing, unused] : entries) {
+      if (existing == key) return;
+    }
+    std::string quoted = "\"";
+    quoted += value;
+    quoted += '"';
+    entries.emplace_back(key, std::move(quoted));
+  };
+  append_if_absent("simd.tier", util::simd::tier_name(util::simd::active_tier()));
+  append_if_absent("simd.cpu", util::simd::cpu_flags());
   std::fprintf(file, "{\n");
-  for (std::size_t k = 0; k < entries_.size(); ++k) {
-    std::fprintf(file, "  \"%s\": %s%s\n", entries_[k].first.c_str(),
-                 entries_[k].second.c_str(),
-                 k + 1 < entries_.size() ? "," : "");
+  for (std::size_t k = 0; k < entries.size(); ++k) {
+    std::fprintf(file, "  \"%s\": %s%s\n", entries[k].first.c_str(),
+                 entries[k].second.c_str(),
+                 k + 1 < entries.size() ? "," : "");
   }
   std::fprintf(file, "}\n");
   std::fclose(file);

@@ -135,7 +135,10 @@ class JsonReport {
   }
 
   /// Writes the object (pretty-printed, one key per line). Returns false and
-  /// prints a warning if the file cannot be opened.
+  /// prints a warning if the file cannot be opened. Every report records the
+  /// dispatched SIMD tier and the host's ISA flags ("simd.tier"/"simd.cpu",
+  /// unless the bench already set them): perf numbers are meaningless in the
+  /// trajectory without knowing which kernel tier produced them.
   bool write(const std::string& path) const;
 
  private:

@@ -14,6 +14,10 @@
 #include "render/compose.hpp"
 #include "render/rasterizer.hpp"
 #include "util/rng.hpp"
+#include "util/simd_dispatch.hpp"
+
+#include <cstdint>
+#include <vector>
 
 namespace {
 
@@ -205,6 +209,165 @@ void BM_HighPass(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(core::high_pass(fb, 6));
 }
 BENCHMARK(BM_HighPass);
+
+// ------------------------------------------------------- simd kernels ---
+// Every dispatched kernel at every tier the host can run (arg 0 = tier:
+// 0 scalar, 1 sse2, 2 avx2, 3 neon; unavailable tiers skip). Items are
+// lanes (fragments for the samplers), so rates compare across tiers.
+
+constexpr std::size_t kSimdLanes = 4096;
+
+std::vector<float> simd_bench_buffer(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<float> out(n);
+  for (float& f : out) f = rng.uniform_f() - 0.5f;
+  return out;
+}
+
+bool simd_tier_or_skip(benchmark::State& state, util::simd::Tier& tier) {
+  tier = static_cast<util::simd::Tier>(state.range(0));
+  if (!util::simd::tier_available(tier)) {
+    state.SkipWithError("tier unavailable on this host");
+    return false;
+  }
+  return true;
+}
+
+void BM_SimdAdd(benchmark::State& state) {
+  util::simd::Tier tier;
+  if (!simd_tier_or_skip(state, tier)) return;
+  const auto& k = util::simd::kernels_for(tier);
+  auto dst = simd_bench_buffer(kSimdLanes, 21);
+  const auto src = simd_bench_buffer(kSimdLanes, 22);
+  for (auto _ : state) {
+    k.add(dst.data(), src.data(), dst.size());
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kSimdLanes));
+}
+BENCHMARK(BM_SimdAdd)->ArgName("tier")->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_SimdAddScaled(benchmark::State& state) {
+  util::simd::Tier tier;
+  if (!simd_tier_or_skip(state, tier)) return;
+  const auto& k = util::simd::kernels_for(tier);
+  auto dst = simd_bench_buffer(kSimdLanes, 23);
+  const auto src = simd_bench_buffer(kSimdLanes, 24);
+  for (auto _ : state) {
+    k.add_scaled(dst.data(), src.data(), 0.37f, dst.size());
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kSimdLanes));
+}
+BENCHMARK(BM_SimdAddScaled)->ArgName("tier")->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_SimdMaxScaled(benchmark::State& state) {
+  util::simd::Tier tier;
+  if (!simd_tier_or_skip(state, tier)) return;
+  const auto& k = util::simd::kernels_for(tier);
+  auto dst = simd_bench_buffer(kSimdLanes, 25);
+  const auto src = simd_bench_buffer(kSimdLanes, 26);
+  for (auto _ : state) {
+    k.max_scaled(dst.data(), src.data(), 0.61f, dst.size());
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kSimdLanes));
+}
+BENCHMARK(BM_SimdMaxScaled)->ArgName("tier")->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_SimdMaxWith(benchmark::State& state) {
+  util::simd::Tier tier;
+  if (!simd_tier_or_skip(state, tier)) return;
+  const auto& k = util::simd::kernels_for(tier);
+  auto dst = simd_bench_buffer(kSimdLanes, 27);
+  for (auto _ : state) {
+    k.max_with(dst.data(), 0.1f, dst.size());
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kSimdLanes));
+}
+BENCHMARK(BM_SimdMaxWith)->ArgName("tier")->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_SimdQuantizeSpan(benchmark::State& state) {
+  util::simd::Tier tier;
+  if (!simd_tier_or_skip(state, tier)) return;
+  const auto& k = util::simd::kernels_for(tier);
+  auto dst = simd_bench_buffer(kSimdLanes, 28);
+  const auto src = simd_bench_buffer(kSimdLanes, 29);
+  for (auto _ : state) {
+    k.quantize_span(dst.data(), src.data(), dst.size());
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kSimdLanes));
+}
+BENCHMARK(BM_SimdQuantizeSpan)->ArgName("tier")->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+// The fused span sampler over a synthetic profile table: a diagonal 32.32
+// walk, single spans of 24 fragments, and the batched form over 64 spans of
+// 6 fragments (the short-span regime the batch packing targets).
+constexpr std::size_t kSimdTableStride = 80;
+constexpr std::size_t kSimdTableRows = 66;
+
+util::simd::SampleSpan simd_bench_span(const std::vector<float>& table,
+                                       std::uint64_t row) {
+  util::simd::SampleSpan s{};
+  s.table = table.data();
+  s.stride = kSimdTableStride;
+  s.fx0 = static_cast<std::int64_t>(2 + (row % 8)) << 32;
+  s.fy0 = static_cast<std::int64_t>(3 + (row % 5)) << 32;
+  s.dfx = (1ll << 31);  // half a texel per fragment
+  s.dfy = (1ll << 30);
+  s.weight = 0.43f;
+  return s;
+}
+
+void BM_SimdSampleRow(benchmark::State& state) {
+  util::simd::Tier tier;
+  if (!simd_tier_or_skip(state, tier)) return;
+  const auto& k = util::simd::kernels_for(tier);
+  const auto table =
+      simd_bench_buffer(kSimdTableStride * kSimdTableRows, 30);
+  const auto span = simd_bench_span(table, 1);
+  constexpr std::size_t kLen = 24;
+  std::vector<float> dst(kLen);
+  for (auto _ : state) {
+    k.sample_row_add(dst.data(), span, kLen);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(kLen));
+}
+BENCHMARK(BM_SimdSampleRow)->ArgName("tier")->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_SimdSampleRowsBatch(benchmark::State& state) {
+  util::simd::Tier tier;
+  if (!simd_tier_or_skip(state, tier)) return;
+  const auto& k = util::simd::kernels_for(tier);
+  const auto table =
+      simd_bench_buffer(kSimdTableStride * kSimdTableRows, 31);
+  constexpr std::size_t kCount = 64;
+  constexpr std::uint32_t kLen = 6;
+  std::vector<util::simd::SampleSpan> spans;
+  std::vector<std::uint32_t> lens(kCount, kLen);
+  std::vector<float> dst(kCount * kLen);
+  std::vector<float*> ptrs(kCount);
+  for (std::size_t i = 0; i < kCount; ++i) {
+    spans.push_back(simd_bench_span(table, i));
+    ptrs[i] = dst.data() + i * kLen;
+  }
+  for (auto _ : state) {
+    k.sample_rows_add(ptrs.data(), spans.data(), lens.data(), kCount);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kCount * kLen));
+}
+BENCHMARK(BM_SimdSampleRowsBatch)
+    ->ArgName("tier")->Arg(0)->Arg(1)->Arg(2)->Arg(3);
 
 void BM_NormalizeContrast(benchmark::State& state) {
   render::Framebuffer fb(512, 512);

@@ -10,17 +10,26 @@
 //      values within 1e-5 under both blend modes;
 //   2. measures fragment throughput of kSpan vs kReference over repeated
 //      rasterization (thread-CPU clock, stable on loaded 1-core CI hosts);
-//   3. runs the whole DnC engine once per algorithm and reports the
+//   3. ablates the runtime SIMD dispatch tiers (ISSUE 10): the workload's
+//      own blend spans are captured and replayed through each tier's fused
+//      sample_row kernel, isolating the kernel from triangle setup (which
+//      Amdahl-limits any end-to-end tier ratio);
+//   4. runs the whole DnC engine once per algorithm and reports the
 //      eq. 3.2 modeled frame seconds;
-//   4. gates: span must reach >= 2.0x reference throughput (1.5x with
-//      --smoke, whose workload is too small to amortize setup), else the
-//      process exits nonzero.
+//   5. gates: span must reach >= 2.0x reference throughput (1.5x with
+//      --smoke, whose workload is too small to amortize setup), AND — when
+//      the host has AVX2 — the avx2 tier must reach >= 1.5x the scalar
+//      (omp-simd) tier's span-kernel fragment throughput (1.2x with
+//      --smoke), else the process exits nonzero.
 //
 // usage: bench_raster_kernel [--smoke] [--json <path>]
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "core/spot_geometry.hpp"
@@ -30,6 +39,7 @@
 #include "render/rasterizer.hpp"
 #include "util/rng.hpp"
 #include "util/simd.hpp"
+#include "util/simd_dispatch.hpp"
 #include "util/stopwatch.hpp"
 
 namespace {
@@ -138,6 +148,172 @@ struct KernelRate {
   render::RasterStats stats;
 };
 
+// ---------------------------------------------------------------------------
+// Kernel-tier ablation: the workload's own spans through each dispatch tier
+// ---------------------------------------------------------------------------
+
+// The captured spans re-armed for replay, SoA like the rasterizer's batch
+// buffers. `offsets` preserve each span's real framebuffer address so the
+// replay touches memory in the rasterizer's own pattern; `groups` records
+// how many spans each triangle produced — the production flush unit.
+struct SpanWorkload {
+  std::vector<util::simd::SampleSpan> spans;
+  std::vector<std::uint32_t> lens;
+  std::vector<std::uint32_t> offsets;
+  std::vector<std::uint32_t> groups;
+  std::int64_t fragments = 0;
+  double mean_length = 0.0;
+};
+
+// Recovers the workload's real covered-run distribution: each triangle of
+// the constant-UV coverage clone is rasterized alone into a scratch target
+// and its bounding-box rows scanned for nonzero runs — exactly the
+// contiguous intervals raster_tri_span hands to sample_row_add/max. Each
+// run is then rebuilt as a SampleSpan over the actual profile table with an
+// in-range UV walk at the workload's texels-per-pixel scale (the profile
+// spans the spot diameter), so the replay performs the same gathers, lerps
+// and lattice snaps as a production span of that length and address.
+SpanWorkload capture_spans(const RibbonWorkload& r, render::Framebuffer& fb) {
+  SpanWorkload out;
+  fb.clear();
+  const render::RasterTarget target{fb.pixels(), 0, 0,
+                                    render::RasterAlgorithm::kSpan};
+  const int width = fb.width();
+  const int height = fb.height();
+  render::RasterStats stats;
+
+  struct Run {
+    std::uint32_t offset = 0;
+    std::uint32_t length = 0;
+  };
+  std::vector<Run> runs;
+  auto capture_triangle = [&](const render::MeshVertex& a,
+                              const render::MeshVertex& b,
+                              const render::MeshVertex& c) {
+    const std::size_t first = runs.size();
+    render::rasterize_triangle(target, a, b, c, 1.0f, *r.profile,
+                               render::BlendMode::kAdditive, stats);
+    // Scan only the triangle's bbox rows, zeroing the runs found so the
+    // scratch target is clean for the next triangle.
+    const int y0 = std::max(
+        0, static_cast<int>(std::floor(std::min({a.y, b.y, c.y}))) - 1);
+    const int y1 = std::min(
+        height - 1, static_cast<int>(std::ceil(std::max({a.y, b.y, c.y}))) + 1);
+    const int x0 = std::max(
+        0, static_cast<int>(std::floor(std::min({a.x, b.x, c.x}))) - 1);
+    const int x1 = std::min(
+        width - 1, static_cast<int>(std::ceil(std::max({a.x, b.x, c.x}))) + 1);
+    for (int y = y0; y <= y1; ++y) {
+      const auto row = fb.pixels().row(y);
+      int x = x0;
+      while (x <= x1) {
+        if (row[static_cast<std::size_t>(x)] == 0.0f) {
+          ++x;
+          continue;
+        }
+        const int start = x;
+        while (x <= x1 && row[static_cast<std::size_t>(x)] != 0.0f) {
+          row[static_cast<std::size_t>(x)] = 0.0f;
+          ++x;
+        }
+        runs.push_back({static_cast<std::uint32_t>(y * width + start),
+                        static_cast<std::uint32_t>(x - start)});
+      }
+    }
+    // Record the triangle's span count as a replay batch, split at the
+    // rasterizer's own flush granularity (kSpanBatch rows per flush).
+    std::size_t produced = runs.size() - first;
+    while (produced > 64) {
+      out.groups.push_back(64);
+      produced -= 64;
+    }
+    if (produced > 0) out.groups.push_back(static_cast<std::uint32_t>(produced));
+  };
+  for (const render::MeshHeader& h : r.coverage.meshes()) {
+    const auto verts = r.coverage.vertices_of(h);
+    auto vertex = [&](int i, int j) -> const render::MeshVertex& {
+      return verts[static_cast<std::size_t>(j) * h.cols +
+                   static_cast<std::size_t>(i)];
+    };
+    // The rasterizer's own quad -> two-triangles traversal.
+    for (int j = 0; j + 1 < h.rows; ++j) {
+      for (int i = 0; i + 1 < h.cols; ++i) {
+        capture_triangle(vertex(i, j), vertex(i + 1, j), vertex(i + 1, j + 1));
+        capture_triangle(vertex(i, j), vertex(i + 1, j + 1), vertex(i, j + 1));
+      }
+    }
+  }
+
+  // Re-arm each run with a UV walk that stays in [0,1)^2 (the rasterizer's
+  // in-range sub-span guarantee). |du| per fragment ~ 1/(spot diameter in
+  // pixels), varied and sign-flipped per span; long spans scale the step
+  // down exactly as a long chord through the profile does.
+  util::Rng rng(0x5ba9u);
+  const double du_base = 1.0 / (2.0 * r.workload.synthesis.spot_radius_px);
+  out.spans.reserve(runs.size());
+  for (const Run& run : runs) {
+    const double steps = static_cast<double>(run.length) - 1.0;
+    double du = du_base * rng.uniform(0.6, 1.4) *
+                (rng.uniform(0.0, 1.0) < 0.5 ? -1.0 : 1.0);
+    double dv = du_base * rng.uniform(-0.45, 0.45);
+    if (std::abs(du) * steps > 0.92) du *= 0.92 / (std::abs(du) * steps);
+    if (std::abs(dv) * steps > 0.90) dv *= 0.90 / (std::abs(dv) * steps);
+    const double walk_u = std::abs(du) * steps;
+    const double walk_v = std::abs(dv) * steps;
+    const double u0 = du >= 0.0 ? rng.uniform(0.02, 0.96 - walk_u)
+                                : rng.uniform(0.02 + walk_u, 0.96);
+    const double v0 = dv >= 0.0 ? rng.uniform(0.02, 0.96 - walk_v)
+                                : rng.uniform(0.02 + walk_v, 0.96);
+    render::SpotProfile::RowSampler sampler(*r.profile, du, dv);
+    sampler.start_row(u0, v0);
+    out.spans.push_back(
+        sampler.span(0, static_cast<float>(rng.uniform(0.002, 0.02))));
+    out.lens.push_back(run.length);
+    out.offsets.push_back(run.offset);
+    out.fragments += run.length;
+  }
+  out.mean_length = runs.empty() ? 0.0
+                                 : static_cast<double>(out.fragments) /
+                                       static_cast<double>(runs.size());
+  return out;
+}
+
+// One timed bout of a tier. Tier rates are compared as a ratio, so the
+// caller runs several bouts per tier *interleaved across tiers* and keeps
+// each tier's best: a noisy-neighbour burst on a shared CI core then lands
+// on single bouts instead of poisoning one whole side of the ratio.
+double measure_tier_bout(const util::simd::KernelTable& kernels,
+                         const SpanWorkload& work, std::vector<float>& dst,
+                         std::vector<float*>& dst_ptrs, double min_seconds) {
+  std::fill(dst.begin(), dst.end(), 0.0f);
+  dst_ptrs.resize(work.offsets.size());
+  for (std::size_t i = 0; i < work.offsets.size(); ++i) {
+    dst_ptrs[i] = dst.data() + work.offsets[i];
+  }
+  // Replay through the batched kernel at the rasterizer's flush granularity
+  // (one triangle's rows per call) so the measurement covers the production
+  // call pattern, not an idealized single-span loop.
+  auto replay = [&] {
+    std::size_t base = 0;
+    for (const std::uint32_t g : work.groups) {
+      kernels.sample_rows_add(dst_ptrs.data() + base, work.spans.data() + base,
+                              work.lens.data() + base, g);
+      base += g;
+    }
+  };
+  replay();  // warm-up: faults pages, primes caches and the predictor
+  std::int64_t reps = 0;
+  double seconds = 0.0;
+  const util::ThreadCpuStopwatch watch;
+  do {
+    replay();
+    ++reps;
+    seconds = watch.seconds();
+  } while (seconds < min_seconds);
+  return static_cast<double>(work.fragments) * static_cast<double>(reps) /
+         seconds;
+}
+
 KernelRate measure_kernel(const RibbonWorkload& r, render::Framebuffer& fb,
                           render::RasterAlgorithm algo, double min_seconds) {
   // One warm-up pass, then repeat whole-buffer rasterizations until the
@@ -227,6 +403,60 @@ int main(int argc, char** argv) {
               span.frags_per_second / 1e6, ratio(span.stats));
   std::printf("  speedup: %.2fx (gate: >= %.1fx)\n", speedup, gate);
 
+  // --- kernel-tier ablation: the fused span kernel per dispatch tier ---
+  // End-to-end tier ratios are Amdahl-limited by triangle setup and edge
+  // walking, so the AVX2 gate is on the span kernel's own fragment
+  // throughput: the workload's spans replayed through each tier's
+  // sample_row_add in isolation.
+  const SpanWorkload span_work = capture_spans(r, fb);
+  std::printf("  tier ablation: %zu spans, %lld fragments, mean length %.1f\n",
+              span_work.spans.size(),
+              static_cast<long long>(span_work.fragments),
+              span_work.mean_length);
+  const double bout_seconds = smoke ? 0.06 : 0.18;
+  const int bout_rounds = smoke ? 3 : 4;
+  std::vector<float> replay_dst(static_cast<std::size_t>(fb.width()) *
+                                static_cast<std::size_t>(fb.height()));
+  std::vector<float*> replay_ptrs;
+  struct TierRate {
+    util::simd::Tier tier;
+    double frags_per_second;
+  };
+  std::vector<TierRate> tier_rates;
+  for (const util::simd::Tier t : util::simd::available_tiers()) {
+    tier_rates.push_back({t, 0.0});
+  }
+  for (int round = 0; round < bout_rounds; ++round) {
+    for (TierRate& tr : tier_rates) {
+      tr.frags_per_second = std::max(
+          tr.frags_per_second,
+          measure_tier_bout(util::simd::kernels_for(tr.tier), span_work,
+                            replay_dst, replay_ptrs, bout_seconds));
+    }
+  }
+  double scalar_rate = 0.0;
+  double avx2_rate = 0.0;
+  for (const TierRate& tr : tier_rates) {
+    if (tr.tier == util::simd::Tier::kScalar) scalar_rate = tr.frags_per_second;
+    if (tr.tier == util::simd::Tier::kAvx2) avx2_rate = tr.frags_per_second;
+  }
+  for (const TierRate& tr : tier_rates) {
+    std::printf("    %-6s %8.2f Mfrag/s  (%.2fx scalar)\n",
+                util::simd::tier_name(tr.tier), tr.frags_per_second / 1e6,
+                scalar_rate > 0.0 ? tr.frags_per_second / scalar_rate : 0.0);
+  }
+  const bool have_avx2 = avx2_rate > 0.0;
+  const double tier_gate = smoke ? 1.2 : 1.5;
+  const double tier_speedup =
+      have_avx2 && scalar_rate > 0.0 ? avx2_rate / scalar_rate : 0.0;
+  if (have_avx2) {
+    std::printf("  avx2 kernel speedup: %.2fx (gate: >= %.1fx)\n", tier_speedup,
+                tier_gate);
+  } else {
+    std::printf("  avx2 unavailable on this host — tier gate skipped\n");
+  }
+  const bool tier_pass = !have_avx2 || tier_speedup >= tier_gate;
+
   // --- eq. 3.2 modeled frame time through the whole engine ---
   core::DncConfig dnc;
   dnc.processors = 2;
@@ -269,6 +499,19 @@ int main(int argc, char** argv) {
     report.set("coverage_identical", coverage_identical);
     report.set("gate.threshold", gate);
     report.set("gate.pass", equivalent && speedup >= gate);
+    report.set("spans.count", static_cast<std::int64_t>(span_work.spans.size()));
+    report.set("spans.mean_length", span_work.mean_length);
+    for (const TierRate& tr : tier_rates) {
+      report.set(std::string("tier.") + util::simd::tier_name(tr.tier) +
+                     ".frags_per_second",
+                 tr.frags_per_second);
+    }
+    if (have_avx2) report.set("tier.speedup", tier_speedup);
+    report.set("tier.gate.threshold", tier_gate);
+    report.set("tier.gate.pass", tier_pass);
+    report.set("simd.tier",
+               util::simd::tier_name(util::simd::active_tier()));
+    report.set("simd.cpu", util::simd::cpu_flags());
     report.write(json_path);
   }
 
@@ -278,6 +521,11 @@ int main(int argc, char** argv) {
   }
   if (speedup < gate) {
     std::printf("FAIL: speedup %.2fx below the %.1fx gate\n", speedup, gate);
+    return 1;
+  }
+  if (!tier_pass) {
+    std::printf("FAIL: avx2 kernel speedup %.2fx below the %.1fx tier gate\n",
+                tier_speedup, tier_gate);
     return 1;
   }
   std::printf("PASS\n");

@@ -17,15 +17,24 @@ the pixels. Three textual rules keep that property from regressing:
       line (or the line above) carries a `// determinism:` comment saying why
       the read cannot affect pixels (timing models, scheduling gates, stats).
   D3  in the accumulation hot files (rasterizer.cpp, framebuffer.cpp,
-      compose.cpp), an indexed/pointer float `+=` must sit within a few
-      lines of a util::simd lattice helper (quantize_contribution or a
-      util::simd:: call) — raw unquantized accumulation is how order
-      dependence sneaks back in. Stats/counter names are exempt.
+      compose.cpp) and the SIMD kernel files (src/util/simd*), an
+      indexed/pointer float `+=` must sit within a few lines of a
+      util::simd lattice helper (quantize_contribution or a util::simd::
+      call) — raw unquantized accumulation is how order dependence sneaks
+      back in. Stats/counter names are exempt.
+      waiver: `// determinism:` comment on the line or the line above.
+  D4  in the SIMD kernel files, an intrinsic float add
+      (_mm_add_ps / _mm256_add_ps / vaddq_f32) must have a quantize
+      reference (quantize128/quantize256/quantize_neon/quantize_contribution)
+      within a few lines — the vector tiers carry the same lattice contract
+      as the scalar expression, and an unquantized vector accumulation is
+      invisible to D3's `+=` pattern.
       waiver: `// determinism:` comment on the line or the line above.
 
 Exit status: 0 clean, 1 violations, 2 usage error.
 
-  scripts/determinism_lint.py [--root DIR]   lint DIR/src/{core,render}
+  scripts/determinism_lint.py [--root DIR]   lint DIR/src/{core,render} and
+                                             DIR/src/util/simd*
   scripts/determinism_lint.py --self-test    run against tests/lint_fixtures
 """
 
@@ -58,6 +67,14 @@ STATS_LHS = re.compile(
 )
 ACCUM_FILES = {"rasterizer.cpp", "framebuffer.cpp", "compose.cpp"}
 ACCUM_CONTEXT_LINES = 6
+# Intrinsic float adds in the explicit-SIMD kernel files (rule D4). Integer
+# adds (_mm256_add_epi32 etc.) are position arithmetic and exempt.
+INTRINSIC_ADD = re.compile(r"_mm256_add_ps|_mm_add_ps|vaddq_f32")
+KERNEL_QUANTIZE = re.compile(
+    r"quantize(?:128|256|_neon|_contribution|_span)")
+# D4 looks a few lines DOWN as well: the fused samplers compute a lerp and
+# quantize the result on the following lines.
+D4_DOWN_LINES = 3
 
 
 class Violation:
@@ -85,10 +102,15 @@ def has_waiver(lines: list[str], idx: int) -> bool:
     return False
 
 
+def is_kernel_file(path: Path) -> bool:
+    return path.name.startswith("simd")
+
+
 def check_file(path: Path) -> list[Violation]:
     lines = path.read_text(encoding="utf-8").splitlines()
     violations: list[Violation] = []
     name = path.name
+    kernel = is_kernel_file(path)
 
     for idx, line in enumerate(lines):
         code = strip_comments(line)
@@ -105,7 +127,7 @@ def check_file(path: Path) -> list[Violation]:
                 "wall-clock read without a `// determinism:` comment "
                 "explaining why it cannot affect pixels"))
 
-        if name in ACCUM_FILES and ACCUMULATION.search(code):
+        if (name in ACCUM_FILES or kernel) and ACCUMULATION.search(code):
             if STATS_LHS.search(code):
                 continue
             lo = max(0, idx - ACCUM_CONTEXT_LINES)
@@ -117,6 +139,18 @@ def check_file(path: Path) -> list[Violation]:
                 "indexed float accumulation with no lattice quantization in "
                 "sight — contributions must go through "
                 "util::simd::quantize_contribution (waiver: `// determinism:`)"))
+
+        if kernel and INTRINSIC_ADD.search(code):
+            lo = max(0, idx - ACCUM_CONTEXT_LINES)
+            hi = min(len(lines), idx + 1 + D4_DOWN_LINES)
+            context = "\n".join(lines[lo:hi])
+            if KERNEL_QUANTIZE.search(context) or has_waiver(lines, idx):
+                continue
+            violations.append(Violation(
+                "D4", path, idx + 1,
+                "intrinsic float add with no quantize in sight — vector "
+                "accumulation must stay on the contribution lattice "
+                "(waiver: `// determinism:`)"))
     return violations
 
 
@@ -127,6 +161,10 @@ def lint_tree(root: Path) -> list[Violation]:
         if base.is_dir():
             files.extend(sorted(base.rglob("*.hpp")))
             files.extend(sorted(base.rglob("*.cpp")))
+    util = root / "src/util"
+    if util.is_dir():
+        files.extend(p for p in sorted(util.iterdir())
+                     if p.suffix in (".hpp", ".cpp") and is_kernel_file(p))
     violations: list[Violation] = []
     for path in files:
         violations.extend(check_file(path))
@@ -143,7 +181,7 @@ def self_test(root: Path) -> int:
         print("determinism_lint self-test FAILED: good_tree should be clean:")
         for v in good:
             print(f"  {v}")
-    expected = {"D1", "D2", "D3"}
+    expected = {"D1", "D2", "D3", "D4"}
     seen = {v.rule for v in bad}
     if seen != expected:
         ok = False

@@ -37,9 +37,21 @@
 #                                    # pre-commit check after touching the
 #                                    # injector, the service retry loop or
 #                                    # any engine fault site.
+#   scripts/verify.sh --simd-tiers   # SIMD-tier mode: runs the determinism
+#                                    # and golden-frame suites once per SIMD
+#                                    # tier available on this host (scalar,
+#                                    # then sse2/avx2 or neon) by setting
+#                                    # DCSN_SIMD, plus the cross-tier
+#                                    # byte-equality suite (test_simd). A
+#                                    # divergent tier means an intrinsic
+#                                    # kernel broke the lattice contract;
+#                                    # this is the quick pre-commit check
+#                                    # after touching simd_dispatch.cpp.
 #   scripts/verify.sh --asan         # build-asan: Address+UndefinedBehavior
 #                                    # sanitizers (-fno-sanitize-recover=all)
-#                                    # and the FULL ctest suite under them.
+#                                    # and the FULL ctest suite under them
+#                                    # (test_simd included — the gather/
+#                                    # maskload kernels run instrumented).
 #                                    # Slow; any finding is a hard failure.
 #   scripts/verify.sh --analyze      # run scripts/analyze.sh: lock-lint +
 #                                    # determinism lint (always), clang
@@ -64,6 +76,7 @@ RUN_TSAN=0
 RUN_BENCH_SMOKE=0
 RUN_GOLDEN_ONLY=0
 RUN_FAULTS_ONLY=0
+RUN_SIMD_TIERS=0
 RUN_ASAN=0
 RUN_ANALYZE=0
 RUN_FORMAT_CHECK=0
@@ -73,10 +86,11 @@ for arg in "$@"; do
     --bench-smoke) RUN_BENCH_SMOKE=1 ;;
     --golden) RUN_GOLDEN_ONLY=1 ;;
     --faults) RUN_FAULTS_ONLY=1 ;;
+    --simd-tiers) RUN_SIMD_TIERS=1 ;;
     --asan) RUN_ASAN=1 ;;
     --analyze) RUN_ANALYZE=1 ;;
     --format-check) RUN_ANALYZE=1; RUN_FORMAT_CHECK=1 ;;
-    *) echo "unknown argument: $arg (supported: --tsan, --bench-smoke, --golden, --faults, --asan, --analyze, --format-check)" >&2; exit 2 ;;
+    *) echo "unknown argument: $arg (supported: --tsan, --bench-smoke, --golden, --faults, --simd-tiers, --asan, --analyze, --format-check)" >&2; exit 2 ;;
   esac
 done
 
@@ -118,6 +132,34 @@ if [[ "$RUN_FAULTS_ONLY" -eq 1 ]]; then
   echo "== fault-tolerance verification (ctest -L faults) =="
   cmake --build "$BUILD_DIR" -j "$JOBS" --target test_faults
   (cd "$BUILD_DIR" && ctest --output-on-failure -L faults -j "$JOBS")
+  exit 0
+fi
+
+if [[ "$RUN_SIMD_TIERS" -eq 1 ]]; then
+  # Per-tier determinism verification: the same pixels must fall out of
+  # every SIMD tier, so the determinism and golden-frame suites run once
+  # per tier under DCSN_SIMD. Tier availability mirrors the dispatcher's
+  # detection (sse2 is x86-64 baseline, avx2 from the cpuinfo flag, neon is
+  # aarch64 baseline); if the shell overshoots, the dispatcher warns and
+  # falls back, so an overshoot weakens the check rather than failing it.
+  echo "== SIMD tier verification (determinism + golden per DCSN_SIMD tier) =="
+  cmake --build "$BUILD_DIR" -j "$JOBS" --target test_determinism test_golden_frames test_simd
+  check_goldens
+  tiers="scalar"
+  case "$(uname -m)" in
+    x86_64|amd64)
+      tiers+=" sse2"
+      grep -qw avx2 /proc/cpuinfo 2>/dev/null && tiers+=" avx2" ;;
+    aarch64|arm64) tiers+=" neon" ;;
+  esac
+  for tier in $tiers; do
+    echo "-- DCSN_SIMD=$tier: test_determinism"
+    DCSN_SIMD="$tier" "$BUILD_DIR/tests/test_determinism" --gtest_brief=1
+    echo "-- DCSN_SIMD=$tier: test_golden_frames"
+    DCSN_SIMD="$tier" "$BUILD_DIR/tests/test_golden_frames" --gtest_brief=1
+  done
+  echo "-- cross-tier byte equality (test_simd)"
+  "$BUILD_DIR/tests/test_simd" --gtest_brief=1
   exit 0
 fi
 
@@ -163,7 +205,7 @@ if [[ "$RUN_TSAN" -eq 1 ]]; then
   # the pipe/queue machinery are the code where a data race would hide; run
   # exactly those suites instrumented. gtest discovery re-runs each binary,
   # so build only what we need.
-  TSAN_SUITES=(test_scheduling test_synthesizers test_service test_pipe test_tile_store test_util test_faults test_net)
+  TSAN_SUITES=(test_scheduling test_synthesizers test_service test_pipe test_tile_store test_util test_faults test_net test_simd)
   echo "== ThreadSanitizer pass (build-tsan) =="
   cmake --preset tsan
   cmake --build --preset tsan -j "$JOBS" --target "${TSAN_SUITES[@]}"

@@ -7,6 +7,7 @@
 #include "util/error.hpp"
 #include "util/hash.hpp"
 #include "util/simd.hpp"
+#include "util/simd_dispatch.hpp"
 
 namespace dcsn::render {
 
@@ -36,7 +37,9 @@ void Framebuffer::reset(int width, int height) {
 void Framebuffer::accumulate(const Framebuffer& src) {
   DCSN_CHECK(src.width_ == width_ && src.height_ == height_,
              "accumulate requires equal framebuffer sizes");
-  util::simd::add(data_.data(), src.data_.data(), data_.size());
+  // Dispatched util::simd tier; every tier's add is the lattice-exact
+  // gather-blend accumulation, bit-identical across tiers.
+  util::simd::kernels().add(data_.data(), src.data_.data(), data_.size());
 }
 
 void Framebuffer::copy_rect_from(const Framebuffer& src, int x0, int y0) {

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/simd.hpp"
+#include "util/simd_dispatch.hpp"
 
 namespace dcsn::render {
 
@@ -322,9 +323,33 @@ void raster_tri_span(const RasterTarget& target, MeshVertex va, MeshVertex vb,
 
   SpotProfile::RowSampler sampler(profile, du_dx, dv_dx);
 
-  constexpr int kRowTile = 256;    // texel staging for the simd blend kernels
-  constexpr int kStagedSpan = 16;  // below this, fused blending wins
-  float texels[kRowTile];
+  // The runtime-dispatched kernel tier (scalar / SSE2 / AVX2 / NEON),
+  // resolved once per triangle. Every tier is bit-identical to the scalar
+  // expressions (util/simd_dispatch.hpp), so the dispatch choice can never
+  // show in the pixels — only in the frame time.
+  const util::simd::KernelTable& kernels = util::simd::kernels();
+
+  // SoA span batch: the rows of this triangle accumulate as (dst, span,
+  // length) triples on the stack and flush through the batched kernel, so
+  // the tier pays its per-call setup once per flush, not once per row. The
+  // triples address disjoint pixels (one span per row, flanks excluded), so
+  // batched order is the per-row order bit for bit.
+  constexpr int kSpanBatch = 64;
+  float* batch_dst[kSpanBatch];
+  util::simd::SampleSpan batch_span[kSpanBatch];
+  std::uint32_t batch_len[kSpanBatch];
+  int batched = 0;
+  const auto flush = [&] {
+    if (batched == 0) return;
+    if constexpr (Mode == BlendMode::kAdditive) {
+      kernels.sample_rows_add(batch_dst, batch_span, batch_len,
+                              static_cast<std::size_t>(batched));
+    } else {
+      kernels.sample_rows_max(batch_dst, batch_span, batch_len,
+                              static_cast<std::size_t>(batched));
+    }
+    batched = 0;
+  };
 
   std::int64_t fragments = 0;
   std::int64_t visited = 0;
@@ -407,47 +432,27 @@ void raster_tri_span(const RasterTarget& target, MeshVertex va, MeshVertex vb,
       // The reference blends max(dst, quantize(weight * 0)) on zero-texel
       // fragments; replicate that on the out-of-range flanks.
       const float flank = util::simd::quantize_contribution(weight * 0.0f);
-      util::simd::max_with(dst, flank, r0 - lo);
-      util::simd::max_with(dst + (r1 - lo), flank, hi - r1);
+      kernels.max_with(dst, flank, static_cast<std::size_t>(r0 - lo));
+      kernels.max_with(dst + (r1 - lo), flank, static_cast<std::size_t>(hi - r1));
     }
     if (r0 < r1) {
-      const int m = r1 - r0;
       // Rebase the sampler at the geometric in-range start s0 — in [0,1)^2
-      // so the fixed-point position fits — and step to the first rendered
-      // fragment. Rendered fragments sample at offsets r0-s0 .. r1-1-s0.
+      // so the fixed-point position fits — then queue the whole rendered
+      // sub-span as one SoA unit: the span() call hoists the per-fragment
+      // UV stepping state (fixed-point position, step, weight) out of this
+      // loop, and at flush the batched kernel blends straight-line over the
+      // contiguous destination floats (staging texels in a stack buffer on
+      // tiers without gathers, walking fragments eight-at-a-time on AVX2).
+      // Rendered fragments sample at offsets r0-s0 .. r1-1-s0; every tier
+      // reproduces the scalar quantize(weight * sample) bits exactly.
       sampler.start_row(u_row + s0 * du_dx, v_row + s0 * dv_dx);
-      const int base = r0 - s0;
-      float* frag = dst + (r0 - lo);
-      if (m < kStagedSpan) {
-        // Short span: fused sample+blend, no staging overhead. The lattice
-        // snap matches the staged kernels and the reference walk exactly.
-        for (int k = 0; k < m; ++k) {
-          const float value = util::simd::quantize_contribution(
-              weight * sampler.sample_at(base + k));
-          if constexpr (Mode == BlendMode::kAdditive) {
-            frag[k] += value;
-          } else {
-            frag[k] = frag[k] < value ? value : frag[k];
-          }
-        }
-      } else {
-        // Long span: stage texels, then blend with the simd kernels.
-        int k = 0;
-        while (k < m) {
-          const int chunk = std::min(kRowTile, m - k);
-#pragma omp simd
-          for (int i = 0; i < chunk; ++i)
-            texels[i] = sampler.sample_at(base + k + i);
-          if constexpr (Mode == BlendMode::kAdditive) {
-            util::simd::add_scaled(frag + k, texels, weight, chunk);
-          } else {
-            util::simd::max_scaled(frag + k, texels, weight, chunk);
-          }
-          k += chunk;
-        }
-      }
+      batch_dst[batched] = dst + (r0 - lo);
+      batch_span[batched] = sampler.span(r0 - s0, weight);
+      batch_len[batched] = static_cast<std::uint32_t>(r1 - r0);
+      if (++batched == kSpanBatch) flush();
     }
   }
+  flush();
   ++stats.triangles;
   stats.fragments += fragments;
   stats.pixels_visited += visited;

@@ -36,12 +36,14 @@ float shape_value(SpotShape shape, float r) {
 }  // namespace
 
 SpotProfile::SpotProfile(SpotShape shape, int resolution)
-    : shape_(shape), res_(resolution) {
+    : shape_(shape), res_(resolution), stride_(padded_stride(resolution)) {
   DCSN_CHECK(resolution >= 2, "profile resolution must be at least 2");
-  // One padded row and column (duplicates of the last real ones) let the
-  // bilinear samplers fetch the +1 neighbour unconditionally.
-  const std::size_t stride = static_cast<std::size_t>(res_) + 1;
-  table_.resize(stride * stride);
+  // One duplicated row and column let the bilinear samplers fetch the +1
+  // neighbour unconditionally; the row stride is additionally padded to a
+  // cache-line multiple (padded_stride) for the vectorized gathers. Pad
+  // floats beyond column res are never read and stay zero.
+  const std::size_t stride = stride_;
+  table_.resize(stride * (static_cast<std::size_t>(res_) + 1));
   double integral = 0.0;
   for (int y = 0; y < res_; ++y) {
     for (int x = 0; x < res_; ++x) {

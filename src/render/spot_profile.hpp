@@ -12,6 +12,8 @@
 #include <memory>
 #include <vector>
 
+#include "util/simd_dispatch.hpp"
+
 namespace dcsn::render {
 
 enum class SpotShape {
@@ -35,9 +37,10 @@ class SpotProfile {
   /// reaching the int cast, which would be undefined.
   ///
   /// The table stores one duplicated row and column past the logical
-  /// resolution (stride res+1), so the +1 neighbour fetch needs no clamp:
-  /// at the last texel it lerps between equal values, which is exactly what
-  /// the clamped fetch produced.
+  /// resolution (row stride padded further for alignment, see
+  /// padded_stride), so the +1 neighbour fetch needs no clamp: at the last
+  /// texel it lerps between equal values, which is exactly what the clamped
+  /// fetch produced.
   [[nodiscard]] float sample(float u, float v) const {
     if (!(u >= 0.0f && u < 1.0f && v >= 0.0f && v < 1.0f)) return 0.0f;
     const float fx = u * static_cast<float>(res_ - 1);
@@ -77,7 +80,7 @@ class SpotProfile {
     /// arbitrary (NaN/huge) gradients of degenerate geometry.
     RowSampler(const SpotProfile& p, double du, double dv)
         : table_(p.table_.data()),
-          stride_(static_cast<std::size_t>(p.res_) + 1),
+          stride_(p.stride_),
           scale_(static_cast<double>(p.res_ - 1)) {
       const double cap = scale_ + 1.0;
       const double sx = du * scale_;
@@ -116,6 +119,22 @@ class SpotProfile {
       return a + (b - a) * ty;
     }
 
+    /// The sampler state rebased to step `base`, packaged for the
+    /// runtime-dispatched span kernels (util::simd::KernelTable's
+    /// sample_row_*). Exact: `fx0_ + base * dfx_` is the same int64
+    /// arithmetic sample_at(base + k) performs, so a kernel walking the
+    /// returned span reproduces sample_at's positions bit-for-bit.
+    /// Precondition: as for sample_at, every sampled step stays in [0,1)^2.
+    [[nodiscard]] util::simd::SampleSpan span(int base, float weight) const {
+      return {table_,
+              stride_,
+              fx0_ + static_cast<std::int64_t>(base) * dfx_,
+              fy0_ + static_cast<std::int64_t>(base) * dfy_,
+              dfx_,
+              dfy_,
+              weight};
+    }
+
    private:
     static std::int64_t fixed(double texels) {
       return static_cast<std::int64_t>(texels * 4294967296.0 +
@@ -141,13 +160,23 @@ class SpotProfile {
   /// Valid for x, y in [0, res]: the table is padded with one duplicated
   /// row and column so bilinear neighbour fetches never need a clamp.
   [[nodiscard]] float at(int x, int y) const {
-    return table_[static_cast<std::size_t>(y) * (static_cast<std::size_t>(res_) + 1) +
-                  static_cast<std::size_t>(x)];
+    return table_[static_cast<std::size_t>(y) * stride_ + static_cast<std::size_t>(x)];
+  }
+
+  /// Row stride: the res+1 logical columns (one duplicated for the +1
+  /// neighbour) rounded up to a 16-float (64-byte) multiple, so every table
+  /// row starts on a cache-line boundary and the vectorized neighbour
+  /// gathers stay alignment-friendly. The pad floats past column res are
+  /// never fetched (they hold zero).
+  [[nodiscard]] static std::size_t padded_stride(int res) {
+    const std::size_t needed = static_cast<std::size_t>(res) + 1;
+    return (needed + 15) & ~static_cast<std::size_t>(15);
   }
 
   SpotShape shape_;
   int res_;
-  std::vector<float> table_;  ///< (res+1) x (res+1), row-major
+  std::size_t stride_;        ///< padded row stride in floats
+  std::vector<float> table_;  ///< (res+1) rows x stride_ floats, row-major
 };
 
 }  // namespace dcsn::render

@@ -68,22 +68,23 @@ inline float quantize_contribution(float v) {
 inline void add(float* __restrict__ dst, const float* __restrict__ src,
                 std::size_t n) {
 #pragma omp simd
+  // determinism: lattice-exact — both operands hold in-range lattice sums
   for (std::size_t i = 0; i < n; ++i) dst[i] += src[i];
 }
 
 /// dst[i] += quantize(w * src[i]) — additive spot blending (the spot-noise
 /// sum, snapped to the contribution lattice).
 inline void add_scaled(float* __restrict__ dst, const float* __restrict__ src,
-                       float w, int n) {
+                       float w, std::size_t n) {
 #pragma omp simd
-  for (int i = 0; i < n; ++i) dst[i] += quantize_contribution(w * src[i]);
+  for (std::size_t i = 0; i < n; ++i) dst[i] += quantize_contribution(w * src[i]);
 }
 
 /// dst[i] = max(dst[i], quantize(w * src[i])) — maximum spot blending.
 inline void max_scaled(float* __restrict__ dst, const float* __restrict__ src,
-                       float w, int n) {
+                       float w, std::size_t n) {
 #pragma omp simd
-  for (int i = 0; i < n; ++i) {
+  for (std::size_t i = 0; i < n; ++i) {
     const float s = quantize_contribution(w * src[i]);
     dst[i] = dst[i] < s ? s : dst[i];
   }
@@ -91,9 +92,17 @@ inline void max_scaled(float* __restrict__ dst, const float* __restrict__ src,
 
 /// dst[i] = max(dst[i], v) — maximum blend against a constant (the span
 /// rasterizer's zero-texel flanks, where the reference blends w * 0).
-inline void max_with(float* __restrict__ dst, float v, int n) {
+inline void max_with(float* __restrict__ dst, float v, std::size_t n) {
 #pragma omp simd
-  for (int i = 0; i < n; ++i) dst[i] = dst[i] < v ? v : dst[i];
+  for (std::size_t i = 0; i < n; ++i) dst[i] = dst[i] < v ? v : dst[i];
+}
+
+/// dst[i] = quantize(src[i]) — the lattice snap over a whole lane buffer.
+/// Like every kernel here, dst and src must not alias.
+inline void quantize_span(float* __restrict__ dst, const float* __restrict__ src,
+                          std::size_t n) {
+#pragma omp simd
+  for (std::size_t i = 0; i < n; ++i) dst[i] = quantize_contribution(src[i]);
 }
 
 }  // namespace dcsn::util::simd

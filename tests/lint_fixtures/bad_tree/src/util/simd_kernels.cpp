@@ -1,0 +1,22 @@
+// Lint fixture: a kernel file that violates rule D4 — an intrinsic float
+// accumulation with no quantize anywhere near it and no waiver. This is the
+// vector-tier version of raw `+=` accumulation: order dependence that D3's
+// textual pattern cannot see.
+#include <immintrin.h>
+
+#include <cstddef>
+
+namespace fixture {
+
+void leaky_add_scaled(float* dst, const float* src, float w, std::size_t n) {
+  const __m256 wv = _mm256_set1_ps(w);
+  for (std::size_t k = 0; k + 8 <= n; k += 8) {
+    const __m256 s = _mm256_mul_ps(wv, _mm256_loadu_ps(src + k));
+
+    const __m256 d = _mm256_loadu_ps(dst + k);
+
+    _mm256_storeu_ps(dst + k, _mm256_add_ps(d, s));
+  }
+}
+
+}  // namespace fixture

@@ -1,0 +1,36 @@
+// Lint fixture: a kernel file that follows the determinism rules. Every
+// intrinsic float add either sits next to its quantize (D4 context) or
+// carries an explicit waiver, and indexed accumulation quantizes in sight.
+#include <immintrin.h>
+
+#include <cstddef>
+
+namespace fixture {
+
+inline __m128 quantize128(__m128 v) { return v; }
+
+void add_scaled_fixture(float* dst, const float* src, float w, std::size_t n) {
+  const __m128 wv = _mm_set1_ps(w);
+  for (std::size_t k = 0; k + 4 <= n; k += 4) {
+    const __m128 s = quantize128(_mm_mul_ps(wv, _mm_loadu_ps(src + k)));
+    _mm_storeu_ps(dst + k, _mm_add_ps(_mm_loadu_ps(dst + k), s));
+  }
+}
+
+void add_fixture(float* dst, const float* src, std::size_t n) {
+  for (std::size_t k = 0; k + 4 <= n; k += 4) {
+    // determinism: lattice-exact — both operands hold in-range lattice sums
+    _mm_storeu_ps(dst + k, _mm_add_ps(_mm_loadu_ps(dst + k),
+                                      _mm_loadu_ps(src + k)));
+  }
+}
+
+float quantize_contribution(float v);
+
+void tail_fixture(float* dst, const float* src, float w, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    dst[i] += quantize_contribution(w * src[i]);
+  }
+}
+
+}  // namespace fixture
